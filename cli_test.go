@@ -1,0 +1,180 @@
+package repro
+
+// End-to-end CLI tests: build each command once and drive it through its
+// main flows, the way a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+// buildCLIs compiles all four commands into a shared temp dir.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "repro-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, cmd := range []string{"bc", "bcstats", "graphgen", "bcbench"} {
+			out := filepath.Join(cliDir, cmd)
+			c := exec.Command("go", "build", "-o", out, "./cmd/"+cmd)
+			c.Dir = mustGetwd()
+			if msg, err := c.CombinedOutput(); err != nil {
+				cliErr = &cliBuildError{cmd, string(msg), err}
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatal(cliErr)
+	}
+	return cliDir
+}
+
+type cliBuildError struct {
+	cmd, output string
+	err         error
+}
+
+func (e *cliBuildError) Error() string {
+	return "building " + e.cmd + ": " + e.err.Error() + "\n" + e.output
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return wd
+}
+
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	dir := buildCLIs(t)
+	out, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func runCLIExpectError(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	dir := buildCLIs(t)
+	out, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, got:\n%s", name, args, out)
+	}
+	return string(out)
+}
+
+func TestCLIGraphgenAndBC(t *testing.T) {
+	tmp := t.TempDir()
+	gpath := filepath.Join(tmp, "g.txt")
+	out := runCLI(t, "graphgen", "-type", "social", "-n", "400", "-o", gpath)
+	if !strings.Contains(out, "wrote graph") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+	out = runCLI(t, "bc", "-in", gpath, "-top", "5", "-v")
+	for _, want := range []string{"apgre finished", "breakdown:", "rank"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bc output missing %q:\n%s", want, out)
+		}
+	}
+	// Every algorithm runs on the same file.
+	for _, algo := range []string{"serial", "preds", "succs", "locksyncfree", "async", "hybrid"} {
+		out = runCLI(t, "bc", "-in", gpath, "-algo", algo, "-top", "1")
+		if !strings.Contains(out, algo+" finished") {
+			t.Fatalf("algo %s output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestCLIBCMetrics(t *testing.T) {
+	tmp := t.TempDir()
+	gpath := filepath.Join(tmp, "g.bin")
+	runCLI(t, "graphgen", "-type", "caveman", "-n", "40", "-communities", "4", "-o", gpath)
+	if out := runCLI(t, "bc", "-in", gpath, "-metric", "closeness", "-top", "3"); !strings.Contains(out, "closeness") {
+		t.Fatalf("closeness output:\n%s", out)
+	}
+	if out := runCLI(t, "bc", "-in", gpath, "-metric", "edge", "-top", "3"); !strings.Contains(out, "edges by betweenness") {
+		t.Fatalf("edge output:\n%s", out)
+	}
+	runCLIExpectError(t, "bc", "-in", gpath, "-metric", "nope")
+	runCLIExpectError(t, "bc", "-in", filepath.Join(tmp, "missing.txt"))
+	runCLIExpectError(t, "bc")
+}
+
+func TestCLIBCWeighted(t *testing.T) {
+	tmp := t.TempDir()
+	wpath := filepath.Join(tmp, "w.txt")
+	if err := os.WriteFile(wpath, []byte("0 1 2\n1 2 2\n0 2 10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "bc", "-in", wpath, "-weighted", "-top", "3")
+	if !strings.Contains(out, "apgre finished") {
+		t.Fatalf("weighted output:\n%s", out)
+	}
+	// Vertex 1 must top the list: the heavy direct edge is bypassed.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") && strings.Contains(l, " 1 ") {
+			found = true
+		}
+	}
+	if !found && !strings.Contains(out, "1     1") {
+		t.Fatalf("vertex 1 not ranked first:\n%s", out)
+	}
+}
+
+func TestCLIBCStats(t *testing.T) {
+	out := runCLI(t, "bcstats", "-dataset", "email-enron", "-scale", "0.05")
+	for _, want := range []string{"articulation points:", "decomposition", "redundancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bcstats missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "bcstats", "-dataset", "human-disease")
+	if !strings.Contains(out, "human-disease") {
+		t.Fatalf("bcstats human-disease:\n%s", out)
+	}
+	runCLIExpectError(t, "bcstats", "-dataset", "nope")
+	runCLIExpectError(t, "bcstats")
+}
+
+func TestCLIBCBench(t *testing.T) {
+	out := runCLI(t, "bcbench", "-table", "4", "-scale", "0.05", "-datasets", "usa-roadny")
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "usa-roadny") {
+		t.Fatalf("bcbench output:\n%s", out)
+	}
+	runCLIExpectError(t, "bcbench") // no experiment selected
+}
+
+func TestCLIGraphgenVariants(t *testing.T) {
+	tmp := t.TempDir()
+	for _, typ := range []string{"er", "ba", "grid", "tree", "star", "path", "cycle", "road", "web", "rmat"} {
+		p := filepath.Join(tmp, typ+".txt")
+		out := runCLI(t, "graphgen", "-type", typ, "-n", "64", "-o", p)
+		if !strings.Contains(out, "wrote graph") {
+			t.Fatalf("%s: %s", typ, out)
+		}
+	}
+	// Dataset mode.
+	p := filepath.Join(tmp, "ds.txt")
+	runCLI(t, "graphgen", "-dataset", "usa-roadny", "-scale", "0.05", "-o", p)
+	runCLIExpectError(t, "graphgen", "-type", "nope", "-o", p)
+	runCLIExpectError(t, "graphgen", "-type", "er")
+	runCLIExpectError(t, "graphgen", "-dataset", "nope", "-o", p)
+}

@@ -1,0 +1,104 @@
+// Command bcstats prints the articulation-point census and decomposition
+// profile of a graph — the measurements behind the paper's Figure 2
+// motivation and Table 4.
+//
+//	bcstats -dataset wiki-talk -scale 0.25
+//	bcstats -in graph.txt -directed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bcc"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "graph file (edge list, .gr, or .bin)")
+		format   = flag.String("format", "", "input format override")
+		directed = flag.Bool("directed", false, "treat edge-list input as directed")
+		dataset  = flag.String("dataset", "", "named synthetic dataset instead of a file")
+		scale    = flag.Float64("scale", 0.25, "dataset scale")
+		thresh   = flag.Int("threshold", 0, "decomposition threshold")
+	)
+	flag.Parse()
+
+	g, name, err := load(*in, *format, *directed, *dataset, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcstats: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := graph.Stats(g)
+	aps, deg1 := bcc.CountArticulationPoints(g)
+	fmt.Printf("graph %s: %v\n", name, g)
+	fmt.Printf("degree: min=%d max=%d mean=%.2f isolated=%d\n",
+		st.MinOut, st.MaxOut, st.MeanOut, st.Isolated)
+	fmt.Printf("articulation points: %d (%.1f%%)\n",
+		aps, 100*float64(aps)/float64(max(1, g.NumVertices())))
+	fmt.Printf("single-edge vertices: %d (%.1f%%), no-in single-out sources: %d\n",
+		deg1, 100*float64(deg1)/float64(max(1, g.NumVertices())), st.Sources)
+	if g.Directed() {
+		_, sccCount := graph.StronglyConnectedComponents(g)
+		fmt.Printf("strongly connected components: %d (largest %d vertices)\n",
+			sccCount, graph.LargestSCCSize(g))
+	}
+
+	d, err := decompose.Decompose(g, decompose.Options{Threshold: *thresh})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcstats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndecomposition (threshold=%d): %d sub-graphs, %d boundary APs, %d roots of %d vertices\n",
+		*thresh, len(d.Subgraphs), d.NumArticulation, d.TotalRoots(), g.NumVertices())
+	sizes := d.SubgraphSizes()
+	t := &metrics.Table{Title: "largest sub-graphs", Headers: []string{"rank", "verts", "arcs", "V share"}}
+	for i := 0; i < len(sizes) && i < 5; i++ {
+		t.AddRow(i+1, sizes[i].Verts, sizes[i].Arcs,
+			metrics.Percent(float64(sizes[i].Verts)/float64(g.NumVertices())))
+	}
+	t.Render(os.Stdout)
+
+	rep := core.AnalyzeRedundancy(g, d, 0, 1)
+	method := "exact"
+	if rep.Sampled {
+		method = "sampled"
+	}
+	fmt.Printf("\nredundancy (%s): effective=%s partial=%s total=%s\n",
+		method, metrics.Percent(rep.Effective), metrics.Percent(rep.Partial), metrics.Percent(rep.Total))
+}
+
+func load(in, format string, directed bool, dataset string, scale float64) (*graph.Graph, string, error) {
+	switch {
+	case dataset != "":
+		ds, err := datasets.ByName(dataset)
+		if err != nil {
+			if dataset == "human-disease" {
+				d, g := datasets.HumanDisease()
+				return g, d.Name, nil
+			}
+			return nil, "", err
+		}
+		return ds.Build(scale), ds.Name, nil
+	case in != "":
+		g, err := graphio.LoadFile(in, format, directed)
+		return g, in, err
+	default:
+		return nil, "", fmt.Errorf("need -in FILE or -dataset NAME (one of %v)", datasets.Names())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

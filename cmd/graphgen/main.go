@@ -1,0 +1,104 @@
+// Command graphgen generates synthetic graphs and writes them to disk.
+//
+//	graphgen -type social -n 10000 -avgdeg 6 -communities 40 -leaf 0.3 -o g.txt
+//	graphgen -type road -rows 100 -cols 100 -o road.bin
+//	graphgen -dataset wiki-talk -scale 0.5 -o wiki.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "", "generator: social|web|road|er|ba|rmat|grid|tree|star|path|cycle|caveman")
+		dataset  = flag.String("dataset", "", "named dataset stand-in instead of -type")
+		scale    = flag.Float64("scale", 1.0, "dataset scale")
+		out      = flag.String("o", "", "output file (.txt edge list or .bin CSR)")
+		format   = flag.String("format", "", "output format override")
+		n        = flag.Int("n", 1000, "vertex count")
+		m        = flag.Int64("m", 4000, "edge count (er)")
+		k        = flag.Int("k", 3, "attachment/edge factor (ba, rmat)")
+		avgdeg   = flag.Int("avgdeg", 6, "average degree (social, web)")
+		comms    = flag.Int("communities", 16, "community/site count (social, web)")
+		topShare = flag.Float64("top", 0.5, "top community share (social)")
+		leaf     = flag.Float64("leaf", 0.2, "degree-1 leaf fraction (social, web)")
+		directed = flag.Bool("directed", false, "directed output (social, er, rmat)")
+		recip    = flag.Float64("reciprocity", 0.5, "directed reciprocity (social)")
+		rows     = flag.Int("rows", 50, "grid rows (road, grid)")
+		cols     = flag.Int("cols", 50, "grid cols (road, grid)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -o FILE is required")
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	switch {
+	case *dataset != "":
+		ds, err := datasets.ByName(*dataset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
+		g = ds.Build(*scale)
+	default:
+		switch *typ {
+		case "social":
+			g = gen.SocialLike(gen.SocialParams{N: *n, AvgDeg: *avgdeg, Communities: *comms,
+				TopShare: *topShare, LeafFrac: *leaf, Directed: *directed, Reciprocity: *recip, Seed: *seed})
+		case "web":
+			g = gen.WebLike(gen.WebParams{N: *n, Sites: *comms, AvgDeg: *avgdeg, LeafFrac: *leaf, Seed: *seed})
+		case "road":
+			g = gen.RoadLike(gen.RoadParams{Rows: *rows, Cols: *cols, DeleteFrac: 0.1,
+				SpurFrac: 0.1, SpurLen: 3, Seed: *seed})
+		case "er":
+			g = gen.ErdosRenyi(*n, *m, *directed, *seed)
+		case "ba":
+			g = gen.BarabasiAlbert(*n, *k, *seed)
+		case "rmat":
+			scalePow := 1
+			for 1<<scalePow < *n {
+				scalePow++
+			}
+			g = gen.RMAT(scalePow, *k, 0.57, 0.19, 0.19, *directed, *seed)
+		case "grid":
+			g = gen.Grid2D(*rows, *cols)
+		case "tree":
+			g = gen.Tree(*n, *seed)
+		case "star":
+			g = gen.Star(*n)
+		case "path":
+			g = gen.Path(*n)
+		case "cycle":
+			g = gen.Cycle(*n)
+		case "caveman":
+			g = gen.Caveman(*comms, *n/max(1, *comms), false)
+		default:
+			fmt.Fprintf(os.Stderr, "graphgen: unknown -type %q\n", *typ)
+			os.Exit(2)
+		}
+	}
+
+	if err := graphio.SaveFile(*out, *format, g); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %v to %s\n", g, *out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

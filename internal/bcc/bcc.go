@@ -1,0 +1,182 @@
+// Package bcc finds articulation points and biconnected components with an
+// iterative Hopcroft–Tarjan depth-first search (paper §4, Algorithm 1's
+// FINDBCC, citing [32]) in O(|V|+|E|) time. It is iterative because the
+// paper's inputs reach millions of vertices and recursion would overflow the
+// goroutine stack on path-like graphs.
+//
+// A biconnected component ("block") is a maximal edge set in which every two
+// edges lie on a common simple cycle; bridges are single-edge blocks. Any
+// connected graph decomposes into a tree of blocks attached at articulation
+// points (property 3 of §3.1), which is exactly the structure the APGRE
+// decomposition consumes.
+package bcc
+
+import (
+	"repro/internal/graph"
+)
+
+// Result describes the biconnected decomposition of the *undirected view* of
+// a graph.
+type Result struct {
+	// IsArticulation[v] reports whether removing v disconnects its component.
+	IsArticulation []bool
+	// BlockEdges[b] lists the undirected edges of block b.
+	BlockEdges [][]graph.Edge
+	// BlockVerts[b] lists the distinct vertices of block b.
+	BlockVerts [][]graph.V
+	// VertexBlocks[v] lists the blocks containing v (several iff v is an
+	// articulation point; empty iff v is isolated).
+	VertexBlocks [][]int32
+}
+
+// NumBlocks returns the number of biconnected components.
+func (r *Result) NumBlocks() int { return len(r.BlockEdges) }
+
+// ArticulationPoints returns the sorted list of articulation points.
+func (r *Result) ArticulationPoints() []graph.V {
+	var out []graph.V
+	for v, is := range r.IsArticulation {
+		if is {
+			out = append(out, graph.V(v))
+		}
+	}
+	return out
+}
+
+type frame struct {
+	u, parent  graph.V
+	iter       int32
+	parentSkip bool
+}
+
+// Find computes the biconnected decomposition. Directed graphs are analyzed
+// through their underlying undirected structure, exactly as the paper's
+// GRAPHPARTITION does (Algorithm 1 line 1: GETUNDG).
+func Find(g *graph.Graph) *Result {
+	und := g.Undirected()
+	n := und.NumVertices()
+	res := &Result{
+		IsArticulation: make([]bool, n),
+		VertexBlocks:   make([][]int32, n),
+	}
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var timer int32
+	var stack []frame
+	var edgeStack []graph.Edge
+	rootChildren := 0
+	inBlock := make([]int32, n) // scratch: last block id a vertex was added to
+	for i := range inBlock {
+		inBlock[i] = -1
+	}
+
+	emitBlock := func(until graph.Edge) {
+		id := int32(len(res.BlockEdges))
+		var edges []graph.Edge
+		for {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			edges = append(edges, e)
+			if e == until {
+				break
+			}
+		}
+		var verts []graph.V
+		for _, e := range edges {
+			for _, v := range [2]graph.V{e.From, e.To} {
+				if inBlock[v] != id {
+					inBlock[v] = id
+					verts = append(verts, v)
+					res.VertexBlocks[v] = append(res.VertexBlocks[v], id)
+				}
+			}
+		}
+		res.BlockEdges = append(res.BlockEdges, edges)
+		res.BlockVerts = append(res.BlockVerts, verts)
+	}
+
+	for r := graph.V(0); int(r) < n; r++ {
+		if disc[r] != -1 {
+			continue
+		}
+		rootChildren = 0
+		stack = append(stack[:0], frame{u: r, parent: -1})
+		disc[r] = timer
+		low[r] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.u
+			adj := und.Out(u)
+			if int(f.iter) < len(adj) {
+				v := adj[f.iter]
+				f.iter++
+				if v == f.parent && !f.parentSkip {
+					// Skip the single tree edge back to the parent (CSR has
+					// deduplicated arcs, so there is exactly one).
+					f.parentSkip = true
+					continue
+				}
+				if disc[v] == -1 {
+					if u == r {
+						rootChildren++
+					}
+					edgeStack = append(edgeStack, graph.Edge{From: u, To: v})
+					disc[v] = timer
+					low[v] = timer
+					timer++
+					stack = append(stack, frame{u: v, parent: u})
+				} else if disc[v] < disc[u] {
+					// Back edge.
+					edgeStack = append(edgeStack, graph.Edge{From: u, To: v})
+					if disc[v] < low[u] {
+						low[u] = disc[v]
+					}
+				}
+				continue
+			}
+			// u is finished; fold into parent.
+			stack = stack[:len(stack)-1]
+			if f.parent < 0 {
+				continue
+			}
+			p := f.parent
+			if low[u] < low[p] {
+				low[p] = low[u]
+			}
+			if low[u] >= disc[p] {
+				// p separates u's subtree: emit the block ending at (p,u).
+				emitBlock(graph.Edge{From: p, To: u})
+				if p != r {
+					res.IsArticulation[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			res.IsArticulation[r] = true
+		}
+	}
+	return res
+}
+
+// CountArticulationPoints is a convenience for the motivation census
+// (Figure 2): it returns the number of articulation points and the number of
+// degree-1 vertices of the undirected view.
+func CountArticulationPoints(g *graph.Graph) (aps, degree1 int) {
+	res := Find(g)
+	for _, is := range res.IsArticulation {
+		if is {
+			aps++
+		}
+	}
+	und := g.Undirected()
+	for v := 0; v < und.NumVertices(); v++ {
+		if und.OutDegree(graph.V(v)) == 1 {
+			degree1++
+		}
+	}
+	return aps, degree1
+}

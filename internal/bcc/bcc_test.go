@@ -1,0 +1,290 @@
+package bcc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteArticulation decides articulation by vertex removal: v is an
+// articulation point iff deleting it increases the number of connected
+// components among the remaining vertices of its component.
+func bruteArticulation(g *graph.Graph, v graph.V) bool {
+	und := g.Undirected()
+	n := und.NumVertices()
+	if und.OutDegree(v) < 2 {
+		return false
+	}
+	// Count components among vertices != v before and after.
+	countComponents := func(skip graph.V) int {
+		seen := make([]bool, n)
+		comps := 0
+		var stack []graph.V
+		for s := graph.V(0); int(s) < n; s++ {
+			if seen[s] || s == skip {
+				continue
+			}
+			comps++
+			stack = append(stack[:0], s)
+			seen[s] = true
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range und.Out(u) {
+					if w == skip || seen[w] {
+						continue
+					}
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		return comps
+	}
+	// Removing v turns its component into k pieces; v is an articulation
+	// point iff k >= 2, i.e. the component count strictly rises.
+	return countComponents(v) > countComponents(-1)
+}
+
+func apSet(g *graph.Graph) map[graph.V]bool {
+	res := Find(g)
+	out := map[graph.V]bool{}
+	for _, v := range res.ArticulationPoints() {
+		out[v] = true
+	}
+	return out
+}
+
+func TestPaperFigure3Graph(t *testing.T) {
+	// The 13-vertex directed graph of paper Figure 3(a); its undirected view
+	// has articulation points 2, 3 and 6 (§2.2). Edges transcribed from the
+	// figure's structure: leaves 0,1 -> 2; core 2,4,5 around 3 and 6;
+	// 6 -> {7,8,9} chain-free fan; 3 -> {12,10} with 10-12 linked.
+	edges := []graph.Edge{
+		{From: 0, To: 2}, {From: 1, To: 2},
+		{From: 2, To: 5}, {From: 2, To: 4},
+		{From: 5, To: 3}, {From: 5, To: 6}, {From: 4, To: 3}, {From: 4, To: 6},
+		{From: 3, To: 12}, {From: 3, To: 10}, {From: 10, To: 12},
+		{From: 6, To: 7}, {From: 6, To: 8}, {From: 7, To: 9}, {From: 8, To: 9},
+	}
+	g := graph.NewFromEdges(13, edges, true)
+	aps := apSet(g)
+	for _, want := range []graph.V{2, 3, 6} {
+		if !aps[want] {
+			t.Fatalf("vertex %d should be an articulation point; got %v", want, aps)
+		}
+	}
+	if len(aps) != 3 {
+		t.Fatalf("articulation points = %v, want exactly {2,3,6}", aps)
+	}
+}
+
+func TestPathAllInteriorAPs(t *testing.T) {
+	g := gen.Path(10)
+	res := Find(g)
+	for v := 1; v < 9; v++ {
+		if !res.IsArticulation[v] {
+			t.Fatalf("interior path vertex %d not marked", v)
+		}
+	}
+	if res.IsArticulation[0] || res.IsArticulation[9] {
+		t.Fatal("path endpoints wrongly marked")
+	}
+	if res.NumBlocks() != 9 {
+		t.Fatalf("path blocks = %d, want 9 (each edge a bridge)", res.NumBlocks())
+	}
+}
+
+func TestCycleNoAPs(t *testing.T) {
+	res := Find(gen.Cycle(12))
+	if len(res.ArticulationPoints()) != 0 {
+		t.Fatalf("cycle has APs: %v", res.ArticulationPoints())
+	}
+	if res.NumBlocks() != 1 {
+		t.Fatalf("cycle blocks = %d, want 1", res.NumBlocks())
+	}
+	if len(res.BlockVerts[0]) != 12 || len(res.BlockEdges[0]) != 12 {
+		t.Fatal("cycle block contents wrong")
+	}
+}
+
+func TestStarHubOnly(t *testing.T) {
+	res := Find(gen.Star(8))
+	aps := res.ArticulationPoints()
+	if len(aps) != 1 || aps[0] != 0 {
+		t.Fatalf("star APs = %v, want [0]", aps)
+	}
+	if res.NumBlocks() != 7 {
+		t.Fatalf("star blocks = %d, want 7", res.NumBlocks())
+	}
+	if len(res.VertexBlocks[0]) != 7 {
+		t.Fatalf("hub in %d blocks, want 7", len(res.VertexBlocks[0]))
+	}
+	if len(res.VertexBlocks[3]) != 1 {
+		t.Fatal("leaf should be in exactly one block")
+	}
+}
+
+func TestCompleteGraphOneBlock(t *testing.T) {
+	res := Find(gen.Complete(7))
+	if res.NumBlocks() != 1 || len(res.ArticulationPoints()) != 0 {
+		t.Fatalf("K7: blocks=%d aps=%v", res.NumBlocks(), res.ArticulationPoints())
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	res := Find(gen.Lollipop(5, 3))
+	// Blocks: K5 + 3 bridges; APs: clique vertex 0 and the 2 interior path vertices.
+	if res.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4", res.NumBlocks())
+	}
+	aps := res.ArticulationPoints()
+	if len(aps) != 3 {
+		t.Fatalf("APs = %v, want 3 of them", aps)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	// Two triangles sharing nothing + isolated vertex.
+	g := graph.NewFromEdges(7, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+		{From: 3, To: 4}, {From: 4, To: 5}, {From: 5, To: 3},
+	}, false)
+	res := Find(g)
+	if res.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", res.NumBlocks())
+	}
+	if len(res.ArticulationPoints()) != 0 {
+		t.Fatal("no APs expected")
+	}
+	if len(res.VertexBlocks[6]) != 0 {
+		t.Fatal("isolated vertex should be in no block")
+	}
+}
+
+func TestEdgesPartitioned(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 600, AvgDeg: 5, Communities: 8, TopShare: 0.5, LeafFrac: 0.3, Seed: 21})
+	res := Find(g)
+	total := 0
+	seen := map[[2]graph.V]bool{}
+	for _, edges := range res.BlockEdges {
+		for _, e := range edges {
+			key := [2]graph.V{e.From, e.To}
+			if e.From > e.To {
+				key = [2]graph.V{e.To, e.From}
+			}
+			if seen[key] {
+				t.Fatalf("edge %v appears in two blocks", key)
+			}
+			seen[key] = true
+			total++
+		}
+	}
+	if int64(total) != g.Undirected().NumEdges() {
+		t.Fatalf("blocks cover %d edges, graph has %d", total, g.Undirected().NumEdges())
+	}
+}
+
+func TestVertexBlocksConsistency(t *testing.T) {
+	g := gen.Caveman(5, 4, false)
+	res := Find(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		inBlocks := map[int32]bool{}
+		for b, verts := range res.BlockVerts {
+			for _, u := range verts {
+				if u == graph.V(v) {
+					inBlocks[int32(b)] = true
+				}
+			}
+		}
+		if len(inBlocks) != len(res.VertexBlocks[v]) {
+			t.Fatalf("vertex %d: VertexBlocks len %d, actual %d", v, len(res.VertexBlocks[v]), len(inBlocks))
+		}
+		for _, b := range res.VertexBlocks[v] {
+			if !inBlocks[b] {
+				t.Fatalf("vertex %d: stale block id %d", v, b)
+			}
+		}
+		// A vertex in >1 block must be an articulation point and vice versa
+		// (within a connected graph).
+		if (len(res.VertexBlocks[v]) > 1) != res.IsArticulation[v] {
+			t.Fatalf("vertex %d: blocks=%d articulation=%v", v, len(res.VertexBlocks[v]), res.IsArticulation[v])
+		}
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Tree(40, 1),
+		gen.ErdosRenyi(30, 45, false, 2),
+		gen.ErdosRenyi(30, 60, false, 3),
+		gen.SocialLike(gen.SocialParams{N: 60, AvgDeg: 4, Communities: 4, TopShare: 0.5, LeafFrac: 0.2, Seed: 4}),
+		gen.RoadLike(gen.RoadParams{Rows: 6, Cols: 6, DeleteFrac: 0.15, SpurFrac: 0.2, SpurLen: 2, Seed: 5}),
+		gen.ErdosRenyi(25, 40, true, 6), // directed: undirected-view APs
+	}
+	for gi, g := range graphs {
+		aps := apSet(g)
+		for v := graph.V(0); int(v) < g.NumVertices(); v++ {
+			want := bruteArticulation(g, v)
+			if aps[v] != want {
+				t.Fatalf("graph %d vertex %d: Find says %v, brute force says %v", gi, v, aps[v], want)
+			}
+		}
+	}
+}
+
+// Property: on random graphs the articulation set matches brute force and
+// blocks partition the edges.
+func TestQuickBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(24, 30, false, seed)
+		aps := apSet(g)
+		for v := graph.V(0); int(v) < g.NumVertices(); v++ {
+			if aps[v] != bruteArticulation(g, v) {
+				return false
+			}
+		}
+		res := Find(g)
+		edgeCount := 0
+		for _, es := range res.BlockEdges {
+			edgeCount += len(es)
+		}
+		return int64(edgeCount) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountArticulationPoints(t *testing.T) {
+	aps, deg1 := CountArticulationPoints(gen.Star(10))
+	if aps != 1 || deg1 != 9 {
+		t.Fatalf("aps=%d deg1=%d", aps, deg1)
+	}
+}
+
+func TestBlockVertsSortedStable(t *testing.T) {
+	// Determinism: two runs produce identical output.
+	g := gen.SocialLike(gen.SocialParams{N: 200, AvgDeg: 4, Communities: 5, TopShare: 0.4, LeafFrac: 0.25, Seed: 8})
+	a, b := Find(g), Find(g)
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatal("nondeterministic block count")
+	}
+	for i := range a.BlockVerts {
+		av := append([]graph.V{}, a.BlockVerts[i]...)
+		bv := append([]graph.V{}, b.BlockVerts[i]...)
+		sort.Slice(av, func(x, y int) bool { return av[x] < av[y] })
+		sort.Slice(bv, func(x, y int) bool { return bv[x] < bv[y] })
+		if len(av) != len(bv) {
+			t.Fatal("nondeterministic block contents")
+		}
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatal("nondeterministic block contents")
+			}
+		}
+	}
+}

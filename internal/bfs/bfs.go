@@ -1,0 +1,191 @@
+// Package bfs provides the breadth-first-search substrate: serial BFS,
+// level-synchronous parallel BFS (the paper's fine-grained phase-1 pattern),
+// and a direction-optimizing hybrid BFS (Beamer et al. [33], the basis of the
+// "hybrid" baseline). It also provides blocked-region variants used to count
+// the α and β quantities of the decomposition (§3.1: "the number of vertices
+// which a can reach without passing through SGi").
+package bfs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Unreached marks vertices not reached by a traversal.
+const Unreached = int32(-1)
+
+// Distances returns BFS distances from s over out-arcs; unreached vertices
+// get Unreached.
+func Distances(g *graph.Graph, s graph.V) []int32 {
+	return DistancesBlocked(g, s, nil)
+}
+
+// DistancesBlocked is Distances but never enters a vertex v (other than s
+// itself) for which blocked(v) is true. A nil blocked blocks nothing.
+func DistancesBlocked(g *graph.Graph, s graph.V, blocked func(graph.V) bool) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[s] = 0
+	frontier := []graph.V{s}
+	var next []graph.V
+	for d := int32(1); len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range g.Out(u) {
+				if dist[v] != Unreached {
+					continue
+				}
+				if blocked != nil && blocked(v) {
+					continue
+				}
+				dist[v] = d
+				next = append(next, v)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return dist
+}
+
+// ReachableCount returns the number of vertices reachable from s (counting s)
+// without entering blocked vertices. Used for α of articulation points.
+func ReachableCount(g *graph.Graph, s graph.V, blocked func(graph.V) bool) int64 {
+	dist := DistancesBlocked(g, s, blocked)
+	var c int64
+	for _, d := range dist {
+		if d != Unreached {
+			c++
+		}
+	}
+	return c
+}
+
+// ReverseReachableCount counts vertices that can reach s over out-arcs (i.e.
+// forward reachability on the transpose), without entering blocked vertices.
+// Used for β of articulation points on directed graphs; for undirected
+// graphs it equals ReachableCount.
+func ReverseReachableCount(g *graph.Graph, s graph.V, blocked func(graph.V) bool) int64 {
+	if !g.Directed() {
+		return ReachableCount(g, s, blocked)
+	}
+	return ReachableCount(g.Transpose(), s, blocked)
+}
+
+// ParallelDistances runs level-synchronous parallel BFS with the given worker
+// count: the frontier is processed with a parallel for; newly discovered
+// vertices are claimed with an atomic bitset and collected in per-worker bags
+// (the reduction-bag pattern the paper's implementation uses).
+func ParallelDistances(g *graph.Graph, s graph.V, workers int) []int32 {
+	n := g.NumVertices()
+	p := par.Workers(workers)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	visited := bitset.New(n)
+	visited.Set(int(s))
+	dist[s] = 0
+	frontier := []graph.V{s}
+	bag := par.NewBag[graph.V](p)
+	for d := int32(1); len(frontier) > 0; d++ {
+		par.ForWorker(len(frontier), p, 0, func(w, i int) {
+			u := frontier[i]
+			for _, v := range g.Out(u) {
+				if visited.TrySet(int(v)) {
+					dist[v] = d
+					bag.Add(w, v)
+				}
+			}
+		})
+		frontier = bag.Drain(frontier)
+	}
+	return dist
+}
+
+// HybridDistances runs direction-optimizing BFS: top-down steps while the
+// frontier is small, switching to bottom-up (every unvisited vertex scans its
+// in-neighbors for a frontier member) when the frontier's out-edge volume
+// exceeds alpha-th of the unexplored edge volume, and back once the frontier
+// shrinks. Parameters follow Beamer et al.'s alpha=14, beta=24.
+func HybridDistances(g *graph.Graph, s graph.V, workers int) []int32 {
+	const alpha, beta = 14, 24
+	n := g.NumVertices()
+	p := par.Workers(workers)
+	g.EnsureTranspose()
+
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	visited := bitset.New(n)
+	visited.Set(int(s))
+	dist[s] = 0
+
+	frontier := []graph.V{s}
+	bag := par.NewBag[graph.V](p)
+	unexploredEdges := g.NumArcs()
+	bottomUp := false
+
+	frontierEdges := func(f []graph.V) int64 {
+		var e int64
+		for _, u := range f {
+			e += int64(g.OutDegree(u))
+		}
+		return e
+	}
+
+	for d := int32(1); len(frontier) > 0; d++ {
+		if !bottomUp {
+			fe := frontierEdges(frontier)
+			if fe > unexploredEdges/alpha {
+				bottomUp = true
+			}
+			unexploredEdges -= fe
+		}
+		if bottomUp && len(frontier) < n/beta {
+			bottomUp = false
+		}
+		if bottomUp {
+			// Bottom-up: each unvisited vertex looks for any in-neighbor at
+			// distance d-1. Writes are owned (one per v), no atomics needed.
+			par.ForWorker(n, p, 0, func(w, vi int) {
+				v := graph.V(vi)
+				if dist[v] != Unreached {
+					return
+				}
+				for _, u := range g.In(v) {
+					// Atomic: a neighbour u may be concurrently claimed at
+					// level d by another worker; the claimed value d never
+					// equals d-1, so the logic is unaffected, but the
+					// accesses must still be synchronized.
+					if atomic.LoadInt32(&dist[u]) == d-1 {
+						atomic.StoreInt32(&dist[v], d)
+						visited.TrySet(int(v))
+						bag.Add(w, v)
+						return
+					}
+				}
+			})
+		} else {
+			par.ForWorker(len(frontier), p, 0, func(w, i int) {
+				u := frontier[i]
+				for _, v := range g.Out(u) {
+					if visited.TrySet(int(v)) {
+						if dist[v] == Unreached {
+							dist[v] = d
+							bag.Add(w, v)
+						}
+					}
+				}
+			})
+		}
+		frontier = bag.Drain(frontier)
+	}
+	return dist
+}

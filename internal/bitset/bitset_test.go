@@ -1,0 +1,149 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(1000)
+	for i := 0; i < 1000; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", b.Count())
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	b := New(300)
+	want := []int{2, 5, 63, 64, 100, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d members, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach[%d] = %d, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestTrySetConcurrent(t *testing.T) {
+	const n = 4096
+	b := New(n)
+	var wins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			local := 0
+			for k := 0; k < 20000; k++ {
+				if b.TrySet(r.Intn(n)) {
+					local++
+				}
+			}
+			mu.Lock()
+			wins += int64(local)
+			mu.Unlock()
+		}(int64(w))
+	}
+	wg.Wait()
+	if int(wins) != b.Count() {
+		t.Fatalf("TrySet wins %d != Count %d: a bit was won twice", wins, b.Count())
+	}
+}
+
+func TestUnionClone(t *testing.T) {
+	a, b := New(200), New(200)
+	a.Set(3)
+	a.Set(100)
+	b.Set(100)
+	b.Set(150)
+	c := a.Clone()
+	c.Union(b)
+	for _, i := range []int{3, 100, 150} {
+		if !c.Get(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if c.Count() != 3 {
+		t.Fatalf("union Count = %d, want 3", c.Count())
+	}
+	// Clone must be independent.
+	c.Set(7)
+	if a.Get(7) {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+// Property: membership after a sequence of sets matches a map-based model.
+func TestQuickModel(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := New(1 << 16)
+		model := map[int]bool{}
+		for _, u := range idxs {
+			b.Set(int(u))
+			model[int(u)] = true
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for i := range model {
+			if !b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	b := New(0)
+	if b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("zero-capacity set misbehaves")
+	}
+	b2 := New(-5)
+	if b2.Len() != 0 {
+		t.Fatal("negative capacity not clamped")
+	}
+}

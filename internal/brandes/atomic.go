@@ -1,0 +1,8 @@
+package brandes
+
+import "repro/internal/par"
+
+// atomicAddFloat64 adds delta to *addr atomically — the "lock" the succs
+// variant [13] eliminates; the preds variant [12] needs it because several
+// DAG successors update a shared predecessor's δ concurrently.
+func atomicAddFloat64(addr *float64, delta float64) { par.AddFloat64(addr, delta) }

@@ -1,0 +1,162 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestEdgeBCPath(t *testing.T) {
+	// Path 0-1-2-3: arc (1,2) carries pairs (0,2),(0,3),(1,2),(1,3) = 4.
+	g := gen.Path(4)
+	ebc := EdgeBC(g)
+	arc12 := g.ArcPos(1, 2)
+	if ebc[arc12] != 4 {
+		t.Fatalf("ebc(1->2) = %v, want 4", ebc[arc12])
+	}
+	arc21 := g.ArcPos(2, 1)
+	if ebc[arc21] != 4 {
+		t.Fatalf("ebc(2->1) = %v, want 4 (symmetry)", ebc[arc21])
+	}
+	// End arc (0,1): pairs (0,1),(0,2),(0,3) = 3.
+	if got := ebc[g.ArcPos(0, 1)]; got != 3 {
+		t.Fatalf("ebc(0->1) = %v, want 3", got)
+	}
+}
+
+func TestEdgeBCStar(t *testing.T) {
+	// Star with hub 0, leaves 1..4: arc (i,0) carries source-i pairs
+	// (i,0),(i,j≠i) = 4; arc (0,i) carries (j,i) for j≠i and (0,i) = 4.
+	g := gen.Star(5)
+	ebc := EdgeBC(g)
+	for leaf := graph.V(1); leaf <= 4; leaf++ {
+		if got := ebc[g.ArcPos(leaf, 0)]; got != 4 {
+			t.Fatalf("ebc(%d->0) = %v, want 4", leaf, got)
+		}
+		if got := ebc[g.ArcPos(0, leaf)]; got != 4 {
+			t.Fatalf("ebc(0->%d) = %v, want 4", leaf, got)
+		}
+	}
+}
+
+func TestEdgeBCDirectedDiamond(t *testing.T) {
+	// 0->1->3, 0->2->3: σ(0,3)=2 so each arc on the split carries 1/2 for
+	// the (0,3) pair plus 1 for its own endpoint pair.
+	g := graph.NewFromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}}, true)
+	ebc := EdgeBC(g)
+	if got := ebc[g.ArcPos(0, 1)]; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("ebc(0->1) = %v, want 1.5", got)
+	}
+	if got := ebc[g.ArcPos(1, 3)]; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("ebc(1->3) = %v, want 1.5", got)
+	}
+}
+
+// Identity: the vertex dependency equals the sum of dependencies of its
+// outgoing DAG arcs minus the target's own count — more simply, vertex BC
+// of v equals Σ_in-arcs ebc - (number of pairs with t = v)... we instead
+// test the cheap global identity: Σ_arcs ebc(a) = Σ_{s,t pairs} (path
+// length in edges) = Σ_v BC(v) + #connected ordered pairs.
+func TestEdgeBCGlobalIdentity(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Grid2D(5, 5),
+		gen.BarabasiAlbert(80, 2, 1),
+		gen.ErdosRenyi(60, 150, true, 2),
+		gen.SocialLike(gen.SocialParams{N: 120, AvgDeg: 4, Communities: 4, TopShare: 0.5, LeafFrac: 0.3, Seed: 3}),
+	}
+	for gi, g := range graphs {
+		ebc := EdgeBC(g)
+		var edgeSum float64
+		for _, x := range ebc {
+			edgeSum += x
+		}
+		bc := Serial(g)
+		var vertexSum float64
+		for _, x := range bc {
+			vertexSum += x
+		}
+		// Each (s,t) pair at distance d contributes d to edgeSum and d-1 to
+		// vertexSum, so edgeSum - vertexSum = #connected ordered pairs.
+		pairs := connectedOrderedPairs(g)
+		if math.Abs(edgeSum-vertexSum-pairs) > 1e-6*(1+edgeSum) {
+			t.Fatalf("graph %d: edgeSum %v - vertexSum %v != pairs %v",
+				gi, edgeSum, vertexSum, pairs)
+		}
+	}
+}
+
+func connectedOrderedPairs(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	var pairs float64
+	dist := make([]int32, n)
+	for s := graph.V(0); int(s) < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []graph.V{s}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Out(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+					pairs++
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func TestEdgeBCParallelMatchesSerial(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 200, AvgDeg: 5, Communities: 4, TopShare: 0.5, LeafFrac: 0.2, Seed: 4})
+	want := EdgeBC(g)
+	for _, p := range []int{1, 2, 4} {
+		got := EdgeBCParallel(g, p)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+want[i]) {
+				t.Fatalf("p=%d: arc %d differs: %v vs %v", p, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestCombineUndirectedEdges(t *testing.T) {
+	g := gen.Path(4)
+	scores := CombineUndirectedEdges(g, EdgeBC(g))
+	if len(scores) != 3 {
+		t.Fatalf("got %d edges, want 3", len(scores))
+	}
+	// Middle edge {1,2} has the top combined score 4+4=8.
+	if scores[0].Edge != (graph.Edge{From: 1, To: 2}) || scores[0].Score != 8 {
+		t.Fatalf("top edge = %+v", scores[0])
+	}
+	// Directed graphs list arcs as-is.
+	gd := graph.NewFromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}}, true)
+	ds := CombineUndirectedEdges(gd, EdgeBC(gd))
+	if len(ds) != 2 {
+		t.Fatalf("directed arcs = %d, want 2", len(ds))
+	}
+}
+
+// Property: edge scores are non-negative and the parallel version agrees.
+func TestQuickEdgeBC(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		g := gen.ErdosRenyi(40, 90, directed, seed)
+		a := EdgeBC(g)
+		b := EdgeBCParallel(g, 3)
+		for i := range a {
+			if a[i] < 0 || math.Abs(a[i]-b[i]) > 1e-9*(1+a[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

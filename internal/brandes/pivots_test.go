@@ -1,0 +1,111 @@
+package brandes
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestSampledWithFullIsExact(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 2, 3)
+	want := Serial(g)
+	for _, strat := range []PivotStrategy{PivotUniform, PivotDegree, PivotMaxMin} {
+		got, err := SampledWith(g, 120, strat, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All strategies pick every vertex when samples == n... MaxMin stops
+		// when all are pivots, and scaling accounts for the actual count.
+		for v := range want {
+			if math.Abs(want[v]-got[v]) > 1e-9*(1+want[v]) {
+				t.Fatalf("strategy %d: exact mismatch at %d: %v vs %v", strat, v, want[v], got[v])
+			}
+		}
+	}
+}
+
+func TestSampledWithUnknownStrategy(t *testing.T) {
+	if _, err := SampledWith(gen.Path(5), 2, PivotStrategy(9), 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSampledWithEmpty(t *testing.T) {
+	bc, err := SampledWith(graph.NewFromEdges(0, nil, false), 3, PivotUniform, 1)
+	if err != nil || len(bc) != 0 {
+		t.Fatalf("empty: %v %v", bc, err)
+	}
+}
+
+// rankErrorAtK measures how many of the exact top-k vertices a strategy's
+// estimate recovers.
+func recallAtK(exact, approx []float64, k int) int {
+	top := func(x []float64) map[int]bool {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]] > x[idx[b]] })
+		out := map[int]bool{}
+		for _, i := range idx[:k] {
+			out[i] = true
+		}
+		return out
+	}
+	te, ta := top(exact), top(approx)
+	hits := 0
+	for v := range te {
+		if ta[v] {
+			hits++
+		}
+	}
+	return hits
+}
+
+func TestPivotStrategiesRecall(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 500, AvgDeg: 5, Communities: 8,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 4})
+	exact := Serial(g)
+	for _, strat := range []PivotStrategy{PivotUniform, PivotDegree, PivotMaxMin} {
+		approx, err := SampledWith(g, 60, strat, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := recallAtK(exact, approx, 10); got < 5 {
+			t.Fatalf("strategy %d: recall@10 = %d, want >= 5", strat, got)
+		}
+	}
+}
+
+func TestMaxMinPivotsScattered(t *testing.T) {
+	// On a long path, max-min pivots must include both extremes quickly.
+	g := gen.Path(101)
+	pivots := maxMinPivots(g, 3, newSeededRand(7))
+	sort.Slice(pivots, func(i, j int) bool { return pivots[i] < pivots[j] })
+	if pivots[len(pivots)-1]-pivots[0] < 50 {
+		t.Fatalf("pivots not scattered: %v", pivots)
+	}
+}
+
+func TestDegreePivotsPreferHubs(t *testing.T) {
+	g := gen.Star(200)
+	r := newSeededRand(3)
+	hubCount := 0
+	for trial := 0; trial < 50; trial++ {
+		pv := degreePivots(g, 1, r)
+		if pv[0] == 0 {
+			hubCount++
+		}
+	}
+	// Hub holds ~half the smoothed degree mass; expect well above the 1/200
+	// uniform rate.
+	if hubCount < 10 {
+		t.Fatalf("hub picked %d/50 times — degree weighting not applied", hubCount)
+	}
+}
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

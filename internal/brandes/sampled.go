@@ -1,0 +1,79 @@
+package brandes
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Sampled approximates BC by running Brandes' accumulation from a uniform
+// sample of source vertices and scaling by n/samples (Bader et al. [19]).
+// The paper cites sampling (on GPUs) as the previous fastest approach that
+// APGRE's *exact* computation overtakes; we include it for that comparison.
+// samples is clamped to [1, n].
+func Sampled(g *graph.Graph, samples int, seed int64) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	if samples > n {
+		samples = n
+	}
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(n)
+
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]graph.V, 0, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+
+	for k := 0; k < samples; k++ {
+		s := graph.V(perm[k])
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		order = append(order, s)
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, v := range g.Out(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			var acc float64
+			for _, w := range g.Out(v) {
+				if dist[w] == dist[v]+1 {
+					acc += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			delta[v] = acc
+			if v != s {
+				bc[v] += acc
+			}
+		}
+		for _, v := range order {
+			dist[v] = -1
+			sigma[v] = 0
+			delta[v] = 0
+		}
+	}
+	scale := float64(n) / float64(samples)
+	for v := range bc {
+		bc[v] *= scale
+	}
+	return bc
+}

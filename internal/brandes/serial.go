@@ -1,0 +1,131 @@
+// Package brandes implements Brandes' exact betweenness centrality algorithm
+// and the published parallel variants the paper benchmarks against (§5.1):
+// preds-serial [12], preds [12], succs [13], lockSyncFree [14], async [11]
+// and hybrid [25]/[33], plus the sampling approximation [19] mentioned for
+// GPU context.
+//
+// Conventions: scores follow the directed-sum definition
+// BC(v) = Σ_{s≠v≠t} σ_st(v)/σ_st over ordered pairs; undirected graphs count
+// each unordered pair in both directions (no ÷2), matching the paper's usage.
+// Unreachable pairs contribute zero. σ counts use float64, which is exact for
+// path counts below 2^53 and standard practice for BC implementations.
+package brandes
+
+import (
+	"repro/internal/graph"
+)
+
+// Serial is the textbook sequential Brandes algorithm with predecessor lists
+// ("preds-serial", the baseline every speedup in the paper is relative to).
+func Serial(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]graph.V, 0, n) // visit order; reverse is the dependency order
+	// CSR-style predecessor storage: v's predecessors are a subset of its
+	// in-neighbors, so in-degrees bound the per-vertex capacity.
+	g.EnsureTranspose()
+	predOffs := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		predOffs[v+1] = predOffs[v] + int64(g.InDegree(graph.V(v)))
+	}
+	predBuf := make([]graph.V, predOffs[n])
+	predLen := make([]int32, n)
+
+	for s := graph.V(0); int(s) < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			predLen[i] = 0
+		}
+		// Forward BFS: σ counting and predecessor collection.
+		dist[s] = 0
+		sigma[s] = 1
+		order = append(order[:0], s)
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, v := range g.Out(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					predBuf[predOffs[v]+int64(predLen[v])] = u
+					predLen[v]++
+				}
+			}
+		}
+		// Backward accumulation over predecessors.
+		for i := len(order) - 1; i > 0; i-- {
+			v := order[i]
+			coef := (1 + delta[v]) / sigma[v]
+			lo := predOffs[v]
+			for k := int32(0); k < predLen[v]; k++ {
+				u := predBuf[lo+int64(k)]
+				delta[u] += sigma[u] * coef
+			}
+			bc[v] += delta[v]
+		}
+	}
+	return bc
+}
+
+// SerialSuccs is the sequential successor-pull formulation: no predecessor
+// lists are stored; the backward sweep re-derives DAG successors from the
+// distance array. It is the serial skeleton the succs/lockSyncFree parallel
+// variants build on.
+func SerialSuccs(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]graph.V, 0, n)
+
+	for s := graph.V(0); int(s) < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		order = append(order[:0], s)
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, v := range g.Out(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			var acc float64
+			for _, w := range g.Out(v) {
+				if dist[w] == dist[v]+1 {
+					acc += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			delta[v] = acc
+			if v != s {
+				bc[v] += acc
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,51 @@
+package closeness
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Harmonic computes harmonic centrality H(v) = Σ_{t≠v} 1/dist(v,t)
+// (unreachable targets contribute 0), the disconnected-robust alternative to
+// classic closeness. The reciprocal does not factor through articulation
+// points (1/(d1+d2) ≠ f(d1)+g(d2)), so no decomposition shortcut exists and
+// the computation is one BFS per vertex, parallelized over sources.
+func Harmonic(g *graph.Graph, workers int) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	p := par.Workers(workers)
+	type scratch struct {
+		dist  []int32
+		queue []graph.V
+	}
+	scratches := make([]*scratch, p)
+	par.ForWorker(n, p, 64, func(w, si int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{dist: make([]int32, n)}
+			for i := range sc.dist {
+				sc.dist[i] = -1
+			}
+			scratches[w] = sc
+		}
+		s := graph.V(si)
+		sc.queue = append(sc.queue[:0], s)
+		sc.dist[s] = 0
+		var h float64
+		for head := 0; head < len(sc.queue); head++ {
+			u := sc.queue[head]
+			for _, v := range g.Out(u) {
+				if sc.dist[v] < 0 {
+					sc.dist[v] = sc.dist[u] + 1
+					h += 1 / float64(sc.dist[v])
+					sc.queue = append(sc.queue, v)
+				}
+			}
+		}
+		out[s] = h
+		for _, v := range sc.queue {
+			sc.dist[v] = -1
+		}
+	})
+	return out
+}

@@ -1,0 +1,113 @@
+package community
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// twoCliques builds two K5s joined by a single bridge — the canonical
+// Girvan–Newman test case: the bridge has maximal edge betweenness and its
+// removal yields the obvious two communities.
+func twoCliques() *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, graph.Edge{From: graph.V(u), To: graph.V(v)})
+			edges = append(edges, graph.Edge{From: graph.V(u + 5), To: graph.V(v + 5)})
+		}
+	}
+	edges = append(edges, graph.Edge{From: 0, To: 5})
+	return graph.NewFromEdges(10, edges, false)
+}
+
+func TestGirvanNewmanTwoCliques(t *testing.T) {
+	res, err := GirvanNewman(twoCliques(), Options{Target: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities != 2 {
+		t.Fatalf("communities = %d, want 2", res.Communities)
+	}
+	// First removed edge must be the bridge.
+	if len(res.Removed) != 1 || res.Removed[0] != (graph.Edge{From: 0, To: 5}) {
+		t.Fatalf("removed = %v, want the bridge {0,5}", res.Removed)
+	}
+	// Cliques stay together.
+	for v := 1; v < 5; v++ {
+		if res.Labels[v] != res.Labels[0] {
+			t.Fatalf("clique A split: labels %v", res.Labels)
+		}
+		if res.Labels[v+5] != res.Labels[5] {
+			t.Fatalf("clique B split: labels %v", res.Labels)
+		}
+	}
+	if res.Labels[0] == res.Labels[5] {
+		t.Fatal("cliques not separated")
+	}
+	// Modularity of the 2-clique split: e_intra = 20/21, degree sums equal.
+	if res.Modularity < 0.4 {
+		t.Fatalf("modularity = %v, want > 0.4", res.Modularity)
+	}
+}
+
+func TestGirvanNewmanModularityMode(t *testing.T) {
+	// Without a target, the modularity-max partition on a 3-community graph
+	// should find roughly 3 communities.
+	g := gen.Caveman(3, 6, false)
+	res, err := GirvanNewman(g, Options{MaxRemovals: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities < 2 || res.Communities > 4 {
+		t.Fatalf("communities = %d, want ~3", res.Communities)
+	}
+	if res.Modularity <= 0 {
+		t.Fatalf("modularity = %v", res.Modularity)
+	}
+}
+
+func TestGirvanNewmanRejectsDirected(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, true, 1)
+	if _, err := GirvanNewman(g, Options{Target: 2}); err == nil {
+		t.Fatal("expected error for directed input")
+	}
+}
+
+func TestGirvanNewmanEdgeless(t *testing.T) {
+	g := graph.NewFromEdges(4, nil, false)
+	res, err := GirvanNewman(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities != 4 {
+		t.Fatalf("edgeless graph: %d communities, want 4", res.Communities)
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques()
+	// Everything in one community: Q = 1 - 1 = 0 (single community).
+	all := make([]int32, 10)
+	if q := Modularity(g, all); math.Abs(q) > 1e-12 {
+		t.Fatalf("single-community Q = %v, want 0", q)
+	}
+	// Perfect split.
+	split := []int32{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	q := Modularity(g, split)
+	// m=21; intra=20; degree sums 21 each: Q = 20/21 - 2*(21/42)^2 = 20/21 - 0.5.
+	want := 20.0/21.0 - 0.5
+	if math.Abs(q-want) > 1e-12 {
+		t.Fatalf("split Q = %v, want %v", q, want)
+	}
+	// Random labels score worse than the true split.
+	bad := []int32{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if Modularity(g, bad) >= q {
+		t.Fatal("random labelling should not beat the true split")
+	}
+	if Modularity(graph.NewFromEdges(0, nil, false), nil) != 0 {
+		t.Fatal("empty graph Q != 0")
+	}
+}

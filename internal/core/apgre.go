@@ -1,0 +1,250 @@
+// Package core implements APGRE, the paper's contribution: articulation-
+// points-guided redundancy elimination for exact betweenness centrality
+// (§3, Algorithm 2).
+//
+// After the graph is decomposed into sub-graphs along articulation points
+// (internal/decompose), each sub-graph runs a Brandes-style computation that
+// maintains the paper's four dependencies simultaneously:
+//
+//	δ_i2i — source and target inside the sub-graph (Eq. 3, classic Brandes)
+//	δ_i2o — target outside, folded through α of the exit AP (Eq. 4)
+//	δ_o2i — source outside, β(s)·δ_i2i when the root is an AP (Eq. 5)
+//	δ_o2o — both outside, β(root)·α(exit AP) seeds (Eq. 6)
+//
+// merged into BC scores with the γ total-redundancy weights (Eq. 7/8,
+// Theorem 3). Parallelism is two-level as in §4: coarse-grained across
+// sub-graphs, fine-grained level-synchronous inside large ones.
+//
+// Correctness note (DESIGN.md §1): for undirected graphs the paper's root
+// term γ(s)·(δ_i2i(s)+δ_i2o(s)) overcounts each folded leaf's dependency by
+// exactly 1 (the leaf is reachable from s and counts itself as a target);
+// the undirected path subtracts γ(s) accordingly. The property tests against
+// Brandes fail without this correction.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Strategy selects the parallelization scheme.
+type Strategy int
+
+const (
+	// StrategyTwoLevel is the paper's scheme: large sub-graphs run with
+	// fine-grained level-synchronous parallelism, the remaining sub-graphs
+	// run concurrently with serial inner loops.
+	StrategyTwoLevel Strategy = iota
+	// StrategyFineOnly processes sub-graphs one at a time, each with
+	// fine-grained parallelism (the paper's inner level alone).
+	StrategyFineOnly
+	// StrategyCoarseOnly processes sub-graphs concurrently with serial
+	// inner loops (the outer level alone).
+	StrategyCoarseOnly
+)
+
+// Options configures Compute.
+type Options struct {
+	// Workers bounds goroutine parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Threshold is the decomposition merge threshold (Algorithm 1).
+	Threshold int
+	// AlphaBeta selects the α/β computation method.
+	AlphaBeta decompose.AlphaBetaMethod
+	// DisableGamma turns off total-redundancy elimination (ablation).
+	DisableGamma bool
+	// Strategy selects the parallelization scheme.
+	Strategy Strategy
+	// FineCutoff is the vertex count at or above which a sub-graph uses
+	// fine-grained parallelism under StrategyTwoLevel; <= 0 means 2048.
+	FineCutoff int
+	// Breakdown, when non-nil, receives phase timings and work counters
+	// (Figure 8's execution-time breakdown).
+	Breakdown *Breakdown
+}
+
+// Breakdown records where APGRE's time goes, mirroring Figure 8: the two
+// preprocessing phases ("extra computations") and the BC calculation split
+// into the large sub-graphs (dominated by the top sub-graph) and the rest.
+type Breakdown struct {
+	Partition time.Duration // graph partition (FINDBCC + merging + building)
+	AlphaBeta time.Duration // counting α/β per articulation point
+	TopBC     time.Duration // BC of sub-graphs processed fine-grained
+	RestBC    time.Duration // BC of the remaining sub-graphs
+	Total     time.Duration
+	// TraversedArcs counts arcs examined during BC BFS phases — the
+	// effective work after redundancy elimination.
+	TraversedArcs int64
+	// Roots is the number of BFS roots actually processed (|R| summed).
+	Roots int64
+	// Subgraphs and Articulations echo the decomposition's shape.
+	Subgraphs     int
+	Articulations int
+}
+
+// Compute runs the full APGRE pipeline on g and returns exact BC scores
+// (directed-sum convention, identical to internal/brandes values).
+func Compute(g *graph.Graph, opt Options) ([]float64, error) {
+	var tm decompose.Timings
+	d, err := decompose.Decompose(g, decompose.Options{
+		Threshold:    opt.Threshold,
+		AlphaBeta:    opt.AlphaBeta,
+		Workers:      opt.Workers,
+		DisableGamma: opt.DisableGamma,
+		Timings:      &tm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bc, err := ComputeDecomposed(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Breakdown != nil {
+		opt.Breakdown.Partition = tm.Partition
+		opt.Breakdown.AlphaBeta = tm.AlphaBeta
+		opt.Breakdown.Total = tm.Partition + tm.AlphaBeta + opt.Breakdown.TopBC + opt.Breakdown.RestBC
+	}
+	return bc, nil
+}
+
+// ComputeDecomposed runs the BC phase of APGRE on an existing decomposition.
+// The decomposition must have been built from the same graph with compatible
+// options (in particular, DisableGamma must match the decomposition's roots).
+func ComputeDecomposed(d *decompose.Decomposition, opt Options) ([]float64, error) {
+	g := d.G
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 || len(d.Subgraphs) == 0 {
+		return bc, nil
+	}
+	p := par.Workers(opt.Workers)
+	cutoff := opt.FineCutoff
+	if cutoff <= 0 {
+		cutoff = 2048
+	}
+	switch opt.Strategy {
+	case StrategyTwoLevel, StrategyFineOnly, StrategyCoarseOnly:
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", opt.Strategy)
+	}
+	var big, small []*decompose.Subgraph
+	switch opt.Strategy {
+	case StrategyTwoLevel:
+		for i, sg := range d.Subgraphs {
+			// The top sub-graph always gets the fine-grained treatment (it
+			// dominates the runtime, §5.3); others only above the cutoff.
+			if i == d.TopIndex || sg.NumVerts() >= cutoff {
+				big = append(big, sg)
+			} else {
+				small = append(small, sg)
+			}
+		}
+	case StrategyFineOnly:
+		big = d.Subgraphs
+	case StrategyCoarseOnly:
+		small = d.Subgraphs
+	}
+	return computeSplit(d, opt, big, small, p, bc)
+}
+
+// computeSplit runs phase A (fine-grained) over big and phase B
+// (coarse-grained) over small, accumulating into bc.
+func computeSplit(d *decompose.Decomposition, opt Options,
+	big, small []*decompose.Subgraph, p int, bc []float64) ([]float64, error) {
+	g := d.G
+	directed := g.Directed()
+	var traversed, roots int64
+
+	// Phase A: large sub-graphs. With several workers this is the paper's
+	// fine-grained level-synchronous engine; with one worker the serial
+	// engine does the same sweep without atomic/frontier-bag overhead (the
+	// phase split is kept so Figure 8's top/rest attribution stays correct).
+	startA := time.Now()
+	var serialBig *serialState
+	for _, sg := range big {
+		if p == 1 {
+			if serialBig == nil {
+				serialBig = &serialState{}
+			}
+			serialBig.ensure(sg.NumVerts())
+			for _, s := range sg.Roots {
+				serialBig.runRoot(sg, s, directed)
+			}
+			flushLocal(bc, sg, serialBig.bcLocal)
+			for l := range serialBig.bcLocal[:sg.NumVerts()] {
+				serialBig.bcLocal[l] = 0
+			}
+			traversed += serialBig.traversed
+			serialBig.traversed = 0
+		} else {
+			st := newFineState(sg, p)
+			for _, s := range sg.Roots {
+				st.runRoot(sg, s, directed)
+			}
+			flushLocal(bc, sg, st.bcLocal)
+			traversed += st.traversed
+		}
+		roots += int64(len(sg.Roots))
+	}
+	topDur := time.Since(startA)
+
+	// Phase B: remaining sub-graphs, coarse-grained with serial inner loops
+	// and per-worker scratch.
+	startB := time.Now()
+	scratches := make([]*serialState, p)
+	par.ForWorker(len(small), p, 1, func(w, i int) {
+		st := scratches[w]
+		if st == nil {
+			st = &serialState{}
+			scratches[w] = st
+		}
+		sg := small[i]
+		st.ensure(sg.NumVerts())
+		for _, s := range sg.Roots {
+			st.runRoot(sg, s, directed)
+		}
+		flushLocalAtomic(bc, sg, st.bcLocal)
+		for l := range st.bcLocal[:sg.NumVerts()] {
+			st.bcLocal[l] = 0
+		}
+		atomic.AddInt64(&traversed, st.traversed)
+		st.traversed = 0
+		atomic.AddInt64(&roots, int64(len(sg.Roots)))
+	})
+	restDur := time.Since(startB)
+
+	if opt.Breakdown != nil {
+		opt.Breakdown.TopBC = topDur
+		opt.Breakdown.RestBC = restDur
+		opt.Breakdown.TraversedArcs = traversed
+		opt.Breakdown.Roots = roots
+		opt.Breakdown.Subgraphs = len(d.Subgraphs)
+		opt.Breakdown.Articulations = d.NumArticulation
+	}
+	return bc, nil
+}
+
+// flushLocal adds a sub-graph's local BC scores into the global array
+// (single-threaded caller).
+func flushLocal(bc []float64, sg *decompose.Subgraph, local []float64) {
+	for l, v := range sg.Verts {
+		bc[v] += local[l]
+	}
+}
+
+// flushLocalAtomic is flushLocal for concurrent callers; only articulation
+// points are ever shared between sub-graphs, but cache-line neighbours still
+// require atomic adds.
+func flushLocalAtomic(bc []float64, sg *decompose.Subgraph, local []float64) {
+	for l, v := range sg.Verts {
+		if local[l] != 0 {
+			atomicAddFloat64(&bc[v], local[l])
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+)
+
+// Incremental maintains exact BC scores across edge insertions and removals
+// — the dynamic-graph direction the paper's decomposition naturally enables.
+//
+// The key observation: every edge belongs to exactly one sub-graph (it lives
+// in one biconnected block), and an intra-sub-graph change moves no vertex
+// across the articulation-point frontier. The boundary APs stay cut
+// vertices, α/β (outside-region counts) are untouched, and shortest paths
+// between sub-graph vertices stay inside — so only the mutated sub-graph's
+// contribution to BC changes, and the update costs O(|SGi|·|E_SGi|) instead
+// of the full O(|V|·|E|) recomputation.
+//
+// Two situations force a full rebuild, counted in FullRebuilds: an inserted
+// edge whose endpoints share no sub-graph (it fuses blocks along the tree
+// path between them), and edges touching isolated vertices (which belong to
+// no sub-graph). Removals never rebuild: deleting an edge can only split
+// structure, which leaves the existing (now conservative) partition valid.
+//
+// Unweighted graphs only.
+type Incremental struct {
+	opt      Options
+	directed bool
+	n        int
+	edges    []graph.Edge
+	g        *graph.Graph
+	d        *decompose.Decomposition
+	sgOf     [][]int32   // vertex -> sub-graph indices
+	contrib  [][]float64 // per-sub-graph local BC contributions
+	bc       []float64
+
+	// FullRebuilds counts structural fallbacks (for tests and telemetry).
+	FullRebuilds int
+}
+
+// NewIncremental decomposes g and computes the initial scores. The Options'
+// parallel settings are ignored (updates run serially); Threshold and
+// DisableGamma apply.
+func NewIncremental(g *graph.Graph, opt Options) (*Incremental, error) {
+	if g.Weighted() {
+		return nil, fmt.Errorf("core: incremental BC supports unweighted graphs only")
+	}
+	inc := &Incremental{
+		opt:      opt,
+		directed: g.Directed(),
+		n:        g.NumVertices(),
+		edges:    g.Edges(),
+	}
+	if err := inc.rebuild(); err != nil {
+		return nil, err
+	}
+	inc.FullRebuilds = 0 // the initial build does not count
+	return inc, nil
+}
+
+// BC returns a copy of the current scores.
+func (inc *Incremental) BC() []float64 {
+	out := make([]float64, len(inc.bc))
+	copy(out, inc.bc)
+	return out
+}
+
+// Graph returns the current graph.
+func (inc *Incremental) Graph() *graph.Graph { return inc.g }
+
+// rebuild decomposes from scratch and recomputes every contribution.
+func (inc *Incremental) rebuild() error {
+	inc.FullRebuilds++
+	inc.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
+	d, err := decompose.Decompose(inc.g, decompose.Options{
+		Threshold:    inc.opt.Threshold,
+		AlphaBeta:    inc.opt.AlphaBeta,
+		DisableGamma: inc.opt.DisableGamma,
+	})
+	if err != nil {
+		return err
+	}
+	inc.d = d
+	inc.sgOf = make([][]int32, inc.n)
+	for si, sg := range d.Subgraphs {
+		for _, v := range sg.Verts {
+			inc.sgOf[v] = append(inc.sgOf[v], int32(si))
+		}
+	}
+	inc.contrib = make([][]float64, len(d.Subgraphs))
+	inc.bc = make([]float64, inc.n)
+	for si := range d.Subgraphs {
+		if err := inc.recompute(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recompute refreshes sub-graph si's contribution and patches the global
+// scores.
+func (inc *Incremental) recompute(si int) error {
+	sg := inc.d.Subgraphs[si]
+	st := &serialState{}
+	st.ensure(sg.NumVerts())
+	for _, s := range sg.Roots {
+		st.runRoot(sg, s, inc.directed)
+	}
+	old := inc.contrib[si]
+	for l, v := range sg.Verts {
+		if old != nil {
+			inc.bc[v] -= old[l]
+		}
+		inc.bc[v] += st.bcLocal[l]
+	}
+	inc.contrib[si] = st.bcLocal[:sg.NumVerts()]
+	return nil
+}
+
+// commonSubgraph returns the sub-graph index containing both endpoints, or
+// -1 (two sub-graphs never share more than one vertex, so the intersection
+// has at most one element).
+func (inc *Incremental) commonSubgraph(u, v graph.V) int {
+	for _, a := range inc.sgOf[u] {
+		for _, b := range inc.sgOf[v] {
+			if a == b {
+				return int(a)
+			}
+		}
+	}
+	return -1
+}
+
+func (inc *Incremental) validate(u, v graph.V) error {
+	if u == v {
+		return fmt.Errorf("core: self-loop %d", u)
+	}
+	if u < 0 || int(u) >= inc.n || v < 0 || int(v) >= inc.n {
+		return fmt.Errorf("core: vertex out of range")
+	}
+	return nil
+}
+
+// InsertEdge adds the edge (u,v) — the arc u->v for directed graphs — and
+// updates the scores.
+func (inc *Incremental) InsertEdge(u, v graph.V) error {
+	if err := inc.validate(u, v); err != nil {
+		return err
+	}
+	if inc.g.HasArc(u, v) {
+		return fmt.Errorf("core: edge %d->%d already present", u, v)
+	}
+	inc.edges = append(inc.edges, graph.Edge{From: u, To: v})
+	si := inc.commonSubgraph(u, v)
+	if si < 0 {
+		// Cross-sub-graph insertion fuses blocks along the tree path (or
+		// attaches an isolated vertex): structural, rebuild.
+		return inc.rebuild()
+	}
+	return inc.applyLocal(si, true, u, v)
+}
+
+// RemoveEdge deletes the edge (u,v) — the arc u->v for directed graphs.
+func (inc *Incremental) RemoveEdge(u, v graph.V) error {
+	if err := inc.validate(u, v); err != nil {
+		return err
+	}
+	if !inc.g.HasArc(u, v) {
+		return fmt.Errorf("core: edge %d->%d absent", u, v)
+	}
+	for i, e := range inc.edges {
+		match := e.From == u && e.To == v
+		if !inc.directed {
+			match = match || (e.From == v && e.To == u)
+		}
+		if match {
+			inc.edges = append(inc.edges[:i], inc.edges[i+1:]...)
+			break
+		}
+	}
+	si := inc.commonSubgraph(u, v)
+	if si < 0 {
+		// Cannot happen for an existing edge (every edge lives in one
+		// block, hence one sub-graph), but stay safe.
+		return inc.rebuild()
+	}
+	return inc.applyLocal(si, false, u, v)
+}
+
+// applyLocal performs an intra-sub-graph mutation: patch the graph, the
+// sub-graph CSR and its roots, then recompute the affected contributions.
+// For undirected graphs only the mutated sub-graph changes. For directed
+// graphs, reachability between outside regions routes *through* the mutated
+// sub-graph, so other sub-graphs' α/β can shift: refresh all α/β over the
+// kept partition and recompute every sub-graph whose values moved.
+func (inc *Incremental) applyLocal(si int, add bool, u, v graph.V) error {
+	sg := inc.d.Subgraphs[si]
+	lu, lv := sg.LocalID(u), sg.LocalID(v)
+	if lu < 0 || lv < 0 {
+		return inc.rebuild()
+	}
+	var oldAB [][]float64
+	if inc.directed {
+		oldAB = snapshotAlphaBeta(inc.d)
+	}
+	if err := sg.MutateEdge(add, lu, lv, inc.directed); err != nil {
+		return err
+	}
+	inc.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
+	inc.d.SetGraph(inc.g)
+	inc.d.RefreshRoots(si, inc.opt.DisableGamma)
+	if !inc.directed {
+		return inc.recompute(si)
+	}
+	if err := inc.d.RecomputeAlphaBeta(0); err != nil {
+		return err
+	}
+	for sj := range inc.d.Subgraphs {
+		if sj == si || alphaBetaChanged(inc.d.Subgraphs[sj], oldAB[sj]) {
+			if err := inc.recompute(sj); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotAlphaBeta copies every sub-graph's (α, β) pairs, flattened per
+// sub-graph as [α0, β0, α1, β1, ...] over its Arts.
+func snapshotAlphaBeta(d *decompose.Decomposition) [][]float64 {
+	out := make([][]float64, len(d.Subgraphs))
+	for si, sg := range d.Subgraphs {
+		snap := make([]float64, 0, 2*len(sg.Arts))
+		for _, la := range sg.Arts {
+			snap = append(snap, sg.Alpha[la], sg.Beta[la])
+		}
+		out[si] = snap
+	}
+	return out
+}
+
+func alphaBetaChanged(sg *decompose.Subgraph, old []float64) bool {
+	for i, la := range sg.Arts {
+		if sg.Alpha[la] != old[2*i] || sg.Beta[la] != old[2*i+1] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brandes"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func assertIncMatches(t *testing.T, inc *Incremental, label string) {
+	t.Helper()
+	want := brandes.Serial(inc.Graph())
+	got := inc.BC()
+	if i, ok := bcClose(want, got, 1e-9); !ok {
+		t.Fatalf("%s: incremental BC differs at %d: want %v got %v",
+			label, i, want[i], got[i])
+	}
+}
+
+func TestIncrementalIntraSubgraph(t *testing.T) {
+	g := gen.Caveman(4, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "initial")
+
+	// Chord inside clique 1 (vertices 5..9 are one sub-graph).
+	if err := inc.InsertEdge(6, 9); err == nil {
+		t.Fatal("expected duplicate error for clique edge")
+	}
+	// Cliques are complete; remove an edge instead, then re-add it.
+	if err := inc.RemoveEdge(6, 9); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "remove clique chord")
+	if err := inc.InsertEdge(6, 9); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "re-add clique chord")
+	if inc.FullRebuilds != 0 {
+		t.Fatalf("intra-sub-graph ops triggered %d rebuilds", inc.FullRebuilds)
+	}
+}
+
+func TestIncrementalCrossSubgraphRebuilds(t *testing.T) {
+	g := gen.Caveman(3, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices 1 (clique 0) and 11 (clique 2) share no sub-graph: inserting
+	// the edge fuses blocks along the whole chain.
+	if err := inc.InsertEdge(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if inc.FullRebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", inc.FullRebuilds)
+	}
+	assertIncMatches(t, inc, "cross insert")
+	// Removing it again: the edge now lives in one (big) sub-graph.
+	if err := inc.RemoveEdge(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "cross remove")
+}
+
+func TestIncrementalLeafDynamics(t *testing.T) {
+	// Star: removing a spoke isolates a leaf; re-adding restores it. γ
+	// bookkeeping must follow.
+	inc, err := NewIncremental(gen.Star(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.RemoveEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "spoke removed")
+	if err := inc.InsertEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "spoke restored")
+	// Adding an edge between two leaves creates a triangle-ish block within
+	// the same sub-graph.
+	if err := inc.InsertEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "leaf-leaf edge")
+}
+
+func TestIncrementalDirected(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 120, AvgDeg: 4, Communities: 4,
+		TopShare: 0.5, LeafFrac: 0.3, Directed: true, Reciprocity: 0.5, Seed: 9})
+	inc, err := NewIncremental(g, Options{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "initial directed")
+	// Reverse an existing arc: remove u->v, insert v->u.
+	var u, v graph.V = -1, -1
+	for _, e := range g.Edges() {
+		if !g.HasArc(e.To, e.From) {
+			u, v = e.From, e.To
+			break
+		}
+	}
+	if u < 0 {
+		t.Skip("no one-way arc found")
+	}
+	if err := inc.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "arc removed")
+	if err := inc.InsertEdge(v, u); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "arc reversed")
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	inc, err := NewIncremental(gen.Path(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.InsertEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := inc.InsertEdge(0, 99); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := inc.InsertEdge(0, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := inc.RemoveEdge(0, 3); err == nil {
+		t.Fatal("absent removal accepted")
+	}
+	if _, err := NewIncremental(gen.WithRandomWeights(gen.Path(4), 3, 1), Options{}); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+}
+
+// Randomized soak: a stream of random insertions and removals, each followed
+// by an exactness check against a fresh Brandes run.
+func TestIncrementalRandomOps(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 90, AvgDeg: 4, Communities: 4,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 10})
+	inc, err := NewIncremental(g, Options{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	ops := 0
+	for ops < 40 {
+		u := graph.V(r.Intn(90))
+		v := graph.V(r.Intn(90))
+		if u == v {
+			continue
+		}
+		cur := inc.Graph()
+		var opErr error
+		if cur.HasArc(u, v) {
+			opErr = inc.RemoveEdge(u, v)
+		} else {
+			opErr = inc.InsertEdge(u, v)
+		}
+		if opErr != nil {
+			t.Fatalf("op %d (%d,%d): %v", ops, u, v, opErr)
+		}
+		ops++
+		assertIncMatches(t, inc, "soak")
+	}
+	if inc.FullRebuilds == 0 {
+		t.Log("note: soak run never required a structural rebuild")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/brandes"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIncrementalDirectedSoak(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := gen.SocialLike(gen.SocialParams{N: 120, AvgDeg: 4, Communities: 4,
+			TopShare: 0.5, LeafFrac: 0.3, Directed: true, Reciprocity: 0.5, Seed: seed})
+		inc, err := NewIncremental(g, Options{Threshold: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u, v graph.V = -1, -1
+		for _, e := range g.Edges() {
+			if !g.HasArc(e.To, e.From) {
+				u, v = e.From, e.To
+				break
+			}
+		}
+		if u < 0 {
+			continue
+		}
+		if err := inc.RemoveEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		want := brandes.Serial(inc.Graph())
+		got := inc.BC()
+		if i, ok := bcClose(want, got, 1e-9); !ok {
+			t.Fatalf("seed %d: after removing %d->%d differs at %d: want %v got %v",
+				seed, u, v, i, want[i], got[i])
+		}
+	}
+}
+
+// Directed random-op soak: insertions and removals of random arcs with
+// exactness checks, over several seeds.
+func TestIncrementalDirectedRandomOps(t *testing.T) {
+	r := newDetRand(7)
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.SocialLike(gen.SocialParams{N: 80, AvgDeg: 4, Communities: 3,
+			TopShare: 0.5, LeafFrac: 0.25, Directed: true, Reciprocity: 0.4, Seed: seed})
+		inc, err := NewIncremental(g, Options{Threshold: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 12; op++ {
+			u := graph.V(r.Intn(80))
+			v := graph.V(r.Intn(80))
+			if u == v {
+				continue
+			}
+			var opErr error
+			if inc.Graph().HasArc(u, v) {
+				opErr = inc.RemoveEdge(u, v)
+			} else {
+				opErr = inc.InsertEdge(u, v)
+			}
+			if opErr != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, opErr)
+			}
+			want := brandes.Serial(inc.Graph())
+			if i, ok := bcClose(want, inc.BC(), 1e-9); !ok {
+				t.Fatalf("seed %d op %d (%d,%d): differs at %d", seed, op, u, v, i)
+			}
+		}
+	}
+}
+
+// newDetRand avoids importing math/rand twice across files.
+func newDetRand(seed int64) *detRand { return &detRand{state: uint64(seed)*2685821657736338717 + 1} }
+
+type detRand struct{ state uint64 }
+
+func (r *detRand) Intn(n int) int {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return int(r.state % uint64(n))
+}

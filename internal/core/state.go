@@ -1,0 +1,271 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/decompose"
+	"repro/internal/par"
+)
+
+func atomicAddFloat64(addr *float64, delta float64) { par.AddFloat64(addr, delta) }
+
+// The four-dependency backward step is identical in the serial and parallel
+// engines: each DAG vertex pulls from its successors (out-neighbours one
+// level deeper) and folds in the articulation-point seeds inline — δ_i2o
+// seeds α(v) at every reachable AP (Eq. 4's init) and δ_o2o seeds
+// β(s)·α(v) when the root is itself an AP (Eq. 6's init). Folding the seeds
+// into the backward step means the δ arrays never need clearing: every
+// visited vertex's slots are assigned exactly once per root.
+
+// serialState is the per-worker scratch for coarse-grained (small sub-graph)
+// processing: one goroutine runs whole sub-graphs with serial phases.
+type serialState struct {
+	alloc     int // allocated length of the slices below
+	dist      []int32
+	sigma     []float64
+	di2i      []float64
+	di2o      []float64
+	do2o      []float64
+	order     []int32
+	bcLocal   []float64
+	traversed int64
+}
+
+// ensure sizes the scratch for a sub-graph of n local vertices, preserving
+// the "dist == -1 everywhere" invariant maintained by sparse resets.
+func (st *serialState) ensure(n int) {
+	if st.alloc >= n {
+		return
+	}
+	st.alloc = n
+	st.dist = make([]int32, n)
+	for i := range st.dist {
+		st.dist[i] = -1
+	}
+	st.sigma = make([]float64, n)
+	st.di2i = make([]float64, n)
+	st.di2o = make([]float64, n)
+	st.do2o = make([]float64, n)
+	st.bcLocal = make([]float64, n)
+}
+
+// runRoot executes Algorithm 2 for one root s of sg: forward σ BFS, then the
+// backward four-dependency accumulation and BC merge (Eq. 7).
+func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
+	dist, sigma := st.dist, st.sigma
+	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+
+	// Phase 1: forward BFS counting shortest paths.
+	st.order = append(st.order[:0], s)
+	dist[s] = 0
+	sigma[s] = 1
+	for head := 0; head < len(st.order); head++ {
+		u := st.order[head]
+		out := sg.Out(u)
+		st.traversed += int64(len(out))
+		du1 := dist[u] + 1
+		for _, w := range out {
+			if dist[w] < 0 {
+				dist[w] = du1
+				st.order = append(st.order, w)
+			}
+			if dist[w] == du1 {
+				sigma[w] += sigma[u]
+			}
+		}
+	}
+
+	// Phase 2: backward accumulation in reverse BFS order.
+	sIsArt := sg.IsArt[s]
+	betaS := sg.Beta[s]
+	gammaS := float64(sg.Gamma[s])
+	for i := len(st.order) - 1; i >= 0; i-- {
+		v := st.order[i]
+		var i2i, i2o, o2o float64
+		sv := sigma[v]
+		dv1 := dist[v] + 1
+		for _, w := range sg.Out(v) {
+			if dist[w] == dv1 {
+				r := sv / sigma[w]
+				i2i += r * (1 + di2i[w])
+				i2o += r * di2o[w]
+				if sIsArt {
+					o2o += r * do2o[w]
+				}
+			}
+		}
+		if v != s && sg.IsArt[v] {
+			i2o += sg.Alpha[v] // δ_i2o seed (Eq. 4)
+			if sIsArt {
+				o2o += betaS * sg.Alpha[v] // δ_o2o seed (Eq. 6)
+			}
+		}
+		di2i[v], di2o[v] = i2i, i2o
+		if sIsArt {
+			do2o[v] = o2o
+		}
+		if v != s {
+			contrib := (1+gammaS)*(i2i+i2o) + o2o
+			if sIsArt {
+				contrib += betaS * i2i // δ_o2i = β(s)·δ_i2i (Eq. 5)
+			}
+			st.bcLocal[v] += contrib
+		} else if gammaS > 0 {
+			root := i2i + i2o
+			if sIsArt {
+				// Folded-leaf paths to every target outside the sub-graph
+				// pass through s itself when s is a boundary AP; the δ_i2o
+				// seeds exclude v == s, so add α(s) here (a gap in the
+				// paper's Eq. 7 — see DESIGN.md §1).
+				root += sg.Alpha[s]
+			}
+			if !directed {
+				// Undirected correction (DESIGN.md §1): each folded leaf is
+				// itself a reachable target of the root recursion and must
+				// not count toward its own dependency.
+				root--
+			}
+			st.bcLocal[v] += gammaS * root
+		}
+	}
+
+	// Sparse reset: only dist and sigma carry state across roots.
+	for _, v := range st.order {
+		dist[v] = -1
+		sigma[v] = 0
+	}
+}
+
+// fineState processes one (large) sub-graph with fine-grained
+// level-synchronous parallelism: frontier-parallel σ BFS with atomic adds
+// and a successor-pull backward sweep with owned writes, exactly the
+// paper's Algorithm 2 phase structure.
+type fineState struct {
+	p         int
+	dist      []int32
+	sigma     []float64
+	di2i      []float64
+	di2o      []float64
+	do2o      []float64
+	visited   *bitset.Bitset
+	buckets   [][]int32
+	bag       *par.Bag[int32]
+	bcLocal   []float64
+	traversed int64
+}
+
+func newFineState(sg *decompose.Subgraph, p int) *fineState {
+	n := sg.NumVerts()
+	st := &fineState{
+		p:       p,
+		dist:    make([]int32, n),
+		sigma:   make([]float64, n),
+		di2i:    make([]float64, n),
+		di2o:    make([]float64, n),
+		do2o:    make([]float64, n),
+		visited: bitset.New(n),
+		bag:     par.NewBag[int32](p),
+		bcLocal: make([]float64, n),
+	}
+	for i := range st.dist {
+		st.dist[i] = -1
+	}
+	return st
+}
+
+func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
+	p := st.p
+	dist, sigma := st.dist, st.sigma
+	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+
+	// Phase 1: level-synchronous parallel forward BFS.
+	st.buckets = st.buckets[:0]
+	dist[s] = 0
+	sigma[s] = 1
+	st.visited.Set(int(s))
+	st.buckets = append(st.buckets, []int32{s})
+	frontier := st.buckets[0]
+	for d := int32(1); len(frontier) > 0; d++ {
+		par.ForWorker(len(frontier), p, 0, func(w, i int) {
+			u := frontier[i]
+			su := sigma[u]
+			for _, v := range sg.Out(u) {
+				if st.visited.TrySet(int(v)) {
+					atomic.StoreInt32(&dist[v], d)
+					st.bag.Add(w, v)
+					atomicAddFloat64(&sigma[v], su)
+					continue
+				}
+				// A negative distance on a claimed vertex means the claim
+				// happened during this level: v is at level d either way.
+				if dv := atomic.LoadInt32(&dist[v]); dv == d || dv < 0 {
+					atomicAddFloat64(&sigma[v], su)
+				}
+			}
+		})
+		next := st.bag.Drain(nil)
+		st.buckets = append(st.buckets, next)
+		frontier = next
+	}
+
+	// Phase 2: backward sweep, one level at a time, owned writes only.
+	sIsArt := sg.IsArt[s]
+	betaS := sg.Beta[s]
+	gammaS := float64(sg.Gamma[s])
+	for d := len(st.buckets) - 1; d >= 0; d-- {
+		bucket := st.buckets[d]
+		par.For(len(bucket), p, func(i int) {
+			v := bucket[i]
+			var i2i, i2o, o2o float64
+			sv := sigma[v]
+			dv1 := dist[v] + 1
+			for _, w := range sg.Out(v) {
+				if dist[w] == dv1 {
+					r := sv / sigma[w]
+					i2i += r * (1 + di2i[w])
+					i2o += r * di2o[w]
+					if sIsArt {
+						o2o += r * do2o[w]
+					}
+				}
+			}
+			if v != s && sg.IsArt[v] {
+				i2o += sg.Alpha[v]
+				if sIsArt {
+					o2o += betaS * sg.Alpha[v]
+				}
+			}
+			di2i[v], di2o[v] = i2i, i2o
+			if sIsArt {
+				do2o[v] = o2o
+			}
+			if v != s {
+				contrib := (1+gammaS)*(i2i+i2o) + o2o
+				if sIsArt {
+					contrib += betaS * i2i
+				}
+				st.bcLocal[v] += contrib
+			} else if gammaS > 0 {
+				root := i2i + i2o
+				if sIsArt {
+					root += sg.Alpha[s] // see serialState.runRoot
+				}
+				if !directed {
+					root--
+				}
+				st.bcLocal[v] += gammaS * root
+			}
+		})
+	}
+
+	// Reset.
+	for _, bucket := range st.buckets {
+		for _, v := range bucket {
+			st.traversed += int64(len(sg.Out(v)))
+			dist[v] = -1
+			sigma[v] = 0
+		}
+	}
+	st.visited.Reset()
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Weighted APGRE — our extension of the paper beyond its unweighted scope.
+// Every structural ingredient survives positive edge weights unchanged:
+// articulation points still factor shortest-path counts
+// (σ_st = σ_sa·σ_at), α/β/γ are reachability counts independent of weights,
+// and the four-dependency recursions only ever use σ ratios along DAG arcs.
+// Only the traversal changes: Dijkstra replaces BFS for σ/dist, and the
+// backward sweep runs in reverse settled order instead of reverse levels.
+// Parallelism is coarse-grained across sub-graphs (the fine-grained
+// level-synchronous scheme has no direct weighted analogue; delta-stepping
+// is future work).
+
+// ComputeWeighted runs the APGRE pipeline on a weighted graph (positive
+// weights, see graph.NewWeightedFromEdges) and returns exact BC scores
+// matching brandes.WeightedSerial.
+func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
+	if !g.Weighted() {
+		return nil, fmt.Errorf("core: ComputeWeighted requires a weighted graph (use Compute)")
+	}
+	var tm decompose.Timings
+	d, err := decompose.Decompose(g, decompose.Options{
+		Threshold:    opt.Threshold,
+		AlphaBeta:    opt.AlphaBeta,
+		Workers:      opt.Workers,
+		DisableGamma: opt.DisableGamma,
+		Timings:      &tm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 || len(d.Subgraphs) == 0 {
+		return bc, nil
+	}
+	p := par.Workers(opt.Workers)
+	directed := g.Directed()
+	var traversed, roots int64
+
+	// Two-level weighted scheme: sub-graphs at or above the fine cutoff are
+	// processed with root-level parallelism (each worker owns a private
+	// Dijkstra state and partial BC array — Dijkstra has no level-
+	// synchronous analogue, so source parallelism replaces it); the rest run
+	// coarse-grained, one goroutine per sub-graph.
+	cutoff := opt.FineCutoff
+	if cutoff <= 0 {
+		cutoff = 2048
+	}
+	start := time.Now()
+	var big, small []*decompose.Subgraph
+	for i, sg := range d.Subgraphs {
+		if p > 1 && opt.Strategy != StrategyCoarseOnly &&
+			(i == d.TopIndex || sg.NumVerts() >= cutoff) {
+			big = append(big, sg)
+		} else {
+			small = append(small, sg)
+		}
+	}
+	for _, sg := range big {
+		if opt.Strategy == StrategyFineOnly {
+			// Fine-grained: delta-stepping distances + distance-group
+			// level-synchronous σ/dependency sweeps, one root at a time —
+			// the weighted analogue of the paper's inner level.
+			st := newWeightedFineState(sg, p)
+			for _, s := range sg.Roots {
+				st.runRoot(sg, s, directed)
+			}
+			flushLocal(bc, sg, st.bcLocal)
+			traversed += st.traversed
+		} else {
+			// Root-parallel: workers own private Dijkstra states and
+			// partial BC arrays.
+			states := make([]*weightedState, p)
+			par.ForWorker(len(sg.Roots), p, 1, func(w, ri int) {
+				st := states[w]
+				if st == nil {
+					st = &weightedState{}
+					st.ensure(sg.NumVerts())
+					states[w] = st
+				}
+				st.runRoot(sg, sg.Roots[ri], directed)
+			})
+			for _, st := range states {
+				if st == nil {
+					continue
+				}
+				flushLocal(bc, sg, st.bcLocal)
+				traversed += st.traversed
+			}
+		}
+		roots += int64(len(sg.Roots))
+	}
+	states := make([]*weightedState, p)
+	par.ForWorker(len(small), p, 1, func(w, i int) {
+		st := states[w]
+		if st == nil {
+			st = &weightedState{}
+			states[w] = st
+		}
+		sg := small[i]
+		st.ensure(sg.NumVerts())
+		for _, s := range sg.Roots {
+			st.runRoot(sg, s, directed)
+		}
+		flushLocalAtomic(bc, sg, st.bcLocal)
+		for l := range st.bcLocal[:sg.NumVerts()] {
+			st.bcLocal[l] = 0
+		}
+		atomic.AddInt64(&traversed, st.traversed)
+		st.traversed = 0
+		atomic.AddInt64(&roots, int64(len(sg.Roots)))
+	})
+
+	if opt.Breakdown != nil {
+		opt.Breakdown.Partition = tm.Partition
+		opt.Breakdown.AlphaBeta = tm.AlphaBeta
+		opt.Breakdown.RestBC = time.Since(start)
+		opt.Breakdown.Total = tm.Partition + tm.AlphaBeta + opt.Breakdown.RestBC
+		opt.Breakdown.TraversedArcs = traversed
+		opt.Breakdown.Roots = roots
+		opt.Breakdown.Subgraphs = len(d.Subgraphs)
+		opt.Breakdown.Articulations = d.NumArticulation
+	}
+	return bc, nil
+}
+
+// weightedState is the per-worker scratch for the weighted engine.
+type weightedState struct {
+	alloc     int
+	dist      []float64
+	sigma     []float64
+	di2i      []float64
+	di2o      []float64
+	do2o      []float64
+	done      []bool
+	order     []int32
+	pq        wheap
+	bcLocal   []float64
+	traversed int64
+}
+
+func (st *weightedState) ensure(n int) {
+	if st.alloc >= n {
+		return
+	}
+	st.alloc = n
+	st.dist = make([]float64, n)
+	for i := range st.dist {
+		st.dist[i] = -1
+	}
+	st.sigma = make([]float64, n)
+	st.di2i = make([]float64, n)
+	st.di2o = make([]float64, n)
+	st.do2o = make([]float64, n)
+	st.done = make([]bool, n)
+	st.bcLocal = make([]float64, n)
+}
+
+type wheapItem struct {
+	d float64
+	v int32
+}
+
+type wheap []wheapItem
+
+func (q wheap) Len() int           { return len(q) }
+func (q wheap) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q wheap) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *wheap) Push(x any)        { *q = append(*q, x.(wheapItem)) }
+func (q *wheap) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// runRoot is Algorithm 2 with Dijkstra: identical four-dependency backward
+// accumulation as the unweighted serialState, over the settled order.
+func (st *weightedState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
+	dist, sigma := st.dist, st.sigma
+	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+
+	// Phase 1: Dijkstra with σ counting.
+	st.order = st.order[:0]
+	st.pq = st.pq[:0]
+	dist[s] = 0
+	sigma[s] = 1
+	heap.Push(&st.pq, wheapItem{0, s})
+	for st.pq.Len() > 0 {
+		it := heap.Pop(&st.pq).(wheapItem)
+		v := it.v
+		if st.done[v] || it.d != dist[v] {
+			continue
+		}
+		st.done[v] = true
+		st.order = append(st.order, v)
+		out := sg.Out(v)
+		wts := sg.OutWeights(v)
+		st.traversed += int64(len(out))
+		for i, w := range out {
+			nd := dist[v] + wts[i]
+			switch {
+			case dist[w] < 0 || nd < dist[w]:
+				dist[w] = nd
+				sigma[w] = sigma[v]
+				heap.Push(&st.pq, wheapItem{nd, w})
+			case nd == dist[w]:
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+
+	// Phase 2: backward four-dependency accumulation (cf. serialState).
+	sIsArt := sg.IsArt[s]
+	betaS := sg.Beta[s]
+	gammaS := float64(sg.Gamma[s])
+	for i := len(st.order) - 1; i >= 0; i-- {
+		v := st.order[i]
+		var i2i, i2o, o2o float64
+		sv := sigma[v]
+		out := sg.Out(v)
+		wts := sg.OutWeights(v)
+		for k, w := range out {
+			if dist[w] == dist[v]+wts[k] {
+				r := sv / sigma[w]
+				i2i += r * (1 + di2i[w])
+				i2o += r * di2o[w]
+				if sIsArt {
+					o2o += r * do2o[w]
+				}
+			}
+		}
+		if v != s && sg.IsArt[v] {
+			i2o += sg.Alpha[v]
+			if sIsArt {
+				o2o += betaS * sg.Alpha[v]
+			}
+		}
+		di2i[v], di2o[v] = i2i, i2o
+		if sIsArt {
+			do2o[v] = o2o
+		}
+		if v != s {
+			contrib := (1+gammaS)*(i2i+i2o) + o2o
+			if sIsArt {
+				contrib += betaS * i2i
+			}
+			st.bcLocal[v] += contrib
+		} else if gammaS > 0 {
+			root := i2i + i2o
+			if sIsArt {
+				root += sg.Alpha[s]
+			}
+			if !directed {
+				root--
+			}
+			st.bcLocal[v] += gammaS * root
+		}
+	}
+
+	for _, v := range st.order {
+		dist[v] = -1
+		sigma[v] = 0
+		st.done[v] = false
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/sssp"
+)
+
+// Fine-grained parallel weighted engine: the weighted analogue of the
+// paper's level-synchronous scheme. Distances come from parallel
+// delta-stepping (internal/sssp); σ counting and the backward
+// four-dependency sweep then run level-synchronously over *distance groups*
+// — with positive weights no shortest-path DAG arc connects two vertices at
+// equal distance, so each group's vertices are mutually independent and all
+// writes are owned, exactly like the unweighted per-level phases.
+type weightedFineState struct {
+	p     int
+	lg    *graph.Graph // sub-graph materialized over local ids
+	dist  []float64
+	sigma []float64
+	di2i  []float64
+	di2o  []float64
+	do2o  []float64
+	order []int32 // reached vertices sorted by distance
+	delta float64
+	// groups[i] = [start, end) index range of order with equal distance.
+	groupEnds []int32
+	bcLocal   []float64
+	traversed int64
+}
+
+func newWeightedFineState(sg *decompose.Subgraph, p int) *weightedFineState {
+	n := sg.NumVerts()
+	lg := sg.AsGraph()
+	lg.EnsureTranspose()
+	return &weightedFineState{
+		p:       p,
+		lg:      lg,
+		sigma:   make([]float64, n),
+		di2i:    make([]float64, n),
+		di2o:    make([]float64, n),
+		do2o:    make([]float64, n),
+		delta:   sssp.DefaultDelta(lg),
+		bcLocal: make([]float64, n),
+	}
+}
+
+func (st *weightedFineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
+	lg := st.lg
+	n := sg.NumVerts()
+
+	// Phase 1a: parallel delta-stepping distances.
+	st.dist = sssp.DeltaStepping(lg, s, st.delta, st.p)
+	dist := st.dist
+
+	// Phase 1b: order reached vertices by distance and form equal-distance
+	// groups.
+	st.order = st.order[:0]
+	for v := int32(0); int(v) < n; v++ {
+		if !math.IsInf(dist[v], 1) {
+			st.order = append(st.order, v)
+		}
+	}
+	order := st.order
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	st.groupEnds = st.groupEnds[:0]
+	for i := 1; i <= len(order); i++ {
+		if i == len(order) || dist[order[i]] != dist[order[i-1]] {
+			st.groupEnds = append(st.groupEnds, int32(i))
+		}
+	}
+
+	// Phase 1c: σ pull per group, ascending. Within a group writes are
+	// owned (no equal-distance DAG arcs under positive weights).
+	sigma := st.sigma
+	groupStart := int32(0)
+	for _, end := range st.groupEnds {
+		grp := order[groupStart:end]
+		par.For(len(grp), st.p, func(i int) {
+			v := grp[i]
+			if v == s {
+				sigma[v] = 1
+				return
+			}
+			var sg float64
+			inN := lg.In(v)
+			inW := lg.InWeights(v)
+			for k, u := range inN {
+				if dist[u]+inW[k] == dist[v] {
+					sg += sigma[u]
+				}
+			}
+			sigma[v] = sg
+		})
+		groupStart = end
+	}
+
+	// Phase 2: backward four-dependency sweep per group, descending.
+	sIsArt := sg.IsArt[s]
+	betaS := sg.Beta[s]
+	gammaS := float64(sg.Gamma[s])
+	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	for gi := len(st.groupEnds) - 1; gi >= 0; gi-- {
+		start := int32(0)
+		if gi > 0 {
+			start = st.groupEnds[gi-1]
+		}
+		grp := order[start:st.groupEnds[gi]]
+		par.For(len(grp), st.p, func(i int) {
+			v := grp[i]
+			var i2i, i2o, o2o float64
+			sv := sigma[v]
+			out := lg.Out(v)
+			wts := sg.OutWeights(v)
+			for k, w := range out {
+				if dist[w] == dist[v]+wts[k] {
+					r := sv / sigma[w]
+					i2i += r * (1 + di2i[w])
+					i2o += r * di2o[w]
+					if sIsArt {
+						o2o += r * do2o[w]
+					}
+				}
+			}
+			if v != s && sg.IsArt[v] {
+				i2o += sg.Alpha[v]
+				if sIsArt {
+					o2o += betaS * sg.Alpha[v]
+				}
+			}
+			di2i[v], di2o[v] = i2i, i2o
+			if sIsArt {
+				do2o[v] = o2o
+			}
+			if v != s {
+				contrib := (1+gammaS)*(i2i+i2o) + o2o
+				if sIsArt {
+					contrib += betaS * i2i
+				}
+				st.bcLocal[v] += contrib
+			} else if gammaS > 0 {
+				root := i2i + i2o
+				if sIsArt {
+					root += sg.Alpha[s]
+				}
+				if !directed {
+					root--
+				}
+				st.bcLocal[v] += gammaS * root
+			}
+		})
+	}
+
+	for _, v := range order {
+		st.traversed += int64(len(lg.Out(v)))
+		sigma[v] = 0
+	}
+}

@@ -1,0 +1,235 @@
+package decompose
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// computeAlphaBeta fills Alpha and Beta for every boundary articulation
+// point of every sub-graph, by the method selected in opt.
+func computeAlphaBeta(d *Decomposition, opt Options) error {
+	switch opt.AlphaBeta {
+	case AlphaBetaAuto:
+		if d.G.Directed() {
+			alphaBetaBFS(d, opt)
+		} else {
+			alphaBetaTree(d)
+		}
+	case AlphaBetaTree:
+		if d.G.Directed() {
+			return fmt.Errorf("decompose: AlphaBetaTree requires an undirected graph")
+		}
+		alphaBetaTree(d)
+	case AlphaBetaBFS:
+		alphaBetaBFS(d, opt)
+	default:
+		return fmt.Errorf("decompose: unknown AlphaBeta method %d", opt.AlphaBeta)
+	}
+	return nil
+}
+
+// alphaBetaTree computes α = β for undirected graphs via subtree sums on the
+// sub-graph/articulation-point bipartite forest, in O(V + E) total: removing
+// the tree edge (SGi, a) splits a's tree in two; α_SGi(a) is the vertex
+// weight on a's side minus one (excluding a itself). Each graph vertex is
+// attributed to exactly one tree node — boundary APs to their own AP node,
+// every other vertex to its unique sub-graph — so subtree sums count
+// vertices exactly once. This is an O(#AP · (V+E)) → O(V+E) improvement over
+// the paper's per-AP BFS; TestTreeMatchesBFS pins the equivalence.
+func alphaBetaTree(d *Decomposition) {
+	numSG := len(d.Subgraphs)
+	apIndex := map[graph.V]int32{}
+	var apVerts []graph.V
+	for _, sg := range d.Subgraphs {
+		for _, la := range sg.Arts {
+			v := sg.Verts[la]
+			if _, ok := apIndex[v]; !ok {
+				apIndex[v] = int32(len(apVerts))
+				apVerts = append(apVerts, v)
+			}
+		}
+	}
+	numAP := len(apVerts)
+	adjSG := make([][]int32, numSG) // sub-graph -> AP node ids
+	adjAP := make([][]int32, numAP) // AP node -> sub-graph ids
+	for si, sg := range d.Subgraphs {
+		for _, la := range sg.Arts {
+			ai := apIndex[sg.Verts[la]]
+			adjSG[si] = append(adjSG[si], ai)
+			adjAP[ai] = append(adjAP[ai], int32(si))
+		}
+	}
+	// Node weights: AP nodes weigh 1; a sub-graph weighs its vertices that
+	// are not boundary APs.
+	wSG := make([]int64, numSG)
+	for si, sg := range d.Subgraphs {
+		for l := range sg.Verts {
+			if !sg.IsArt[l] {
+				wSG[si]++
+			}
+		}
+	}
+
+	// Iterative DFS over the forest. Node encoding: sub-graphs occupy
+	// [0, numSG), AP node a is numSG + a.
+	total := numSG + numAP
+	sub := make([]int64, total)
+	parent := make([]int32, total)
+	visited := make([]bool, total)
+	treeTotal := make([]int64, total)
+	order := make([]int32, 0, total)
+	var stack []int32
+
+	for root := 0; root < total; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		parent[root] = -1
+		start := len(order)
+		stack = append(stack[:0], int32(root))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, u)
+			if int(u) < numSG {
+				for _, a := range adjSG[u] {
+					w := int32(numSG) + a
+					if !visited[w] {
+						visited[w] = true
+						parent[w] = u
+						stack = append(stack, w)
+					}
+				}
+			} else {
+				for _, s := range adjAP[u-int32(numSG)] {
+					if !visited[s] {
+						visited[s] = true
+						parent[s] = u
+						stack = append(stack, s)
+					}
+				}
+			}
+		}
+		// Reverse discovery order is a valid children-before-parents order
+		// for a DFS tree, so one backward pass accumulates subtree sums.
+		var tt int64
+		for i := len(order) - 1; i >= start; i-- {
+			u := order[i]
+			if int(u) < numSG {
+				sub[u] += wSG[u]
+			} else {
+				sub[u]++
+			}
+			if parent[u] >= 0 {
+				sub[parent[u]] += sub[u]
+			} else {
+				tt = sub[u]
+			}
+		}
+		for i := start; i < len(order); i++ {
+			treeTotal[order[i]] = tt
+		}
+	}
+
+	for si, sg := range d.Subgraphs {
+		for _, la := range sg.Arts {
+			apNode := int32(numSG) + apIndex[sg.Verts[la]]
+			sgNode := int32(si)
+			var apSide int64
+			switch {
+			case parent[apNode] == sgNode:
+				apSide = sub[apNode]
+			case parent[sgNode] == apNode:
+				apSide = treeTotal[sgNode] - sub[sgNode]
+			default:
+				// Cannot happen in a forest: every (SGi, a) incidence is a
+				// tree edge, so one endpoint is the other's DFS parent.
+				panic("decompose: bipartite incidence is not a tree edge")
+			}
+			alpha := float64(apSide - 1)
+			sg.Alpha[la] = alpha
+			sg.Beta[la] = alpha
+		}
+	}
+}
+
+// abScratch is per-worker reusable state for alphaBetaBFS.
+type abScratch struct {
+	inSG    []int32 // sub-graph membership, epoch-marked
+	visited []int32 // BFS visited, epoch-marked
+	sgEpoch int32
+	bfsEp   int32
+	queue   []graph.V
+}
+
+// count runs a BFS from a over `from`, never entering vertices of the
+// current sub-graph other than a, and returns the number of vertices reached
+// beyond a.
+func (sc *abScratch) count(from *graph.Graph, a graph.V) float64 {
+	sc.bfsEp++
+	ep := sc.bfsEp
+	sc.visited[a] = ep
+	sc.queue = append(sc.queue[:0], a)
+	var reached int64
+	for len(sc.queue) > 0 {
+		u := sc.queue[len(sc.queue)-1]
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		for _, v := range from.Out(u) {
+			if sc.visited[v] == ep {
+				continue
+			}
+			if sc.inSG[v] == sc.sgEpoch && v != a {
+				continue
+			}
+			sc.visited[v] = ep
+			sc.queue = append(sc.queue, v)
+			reached++
+		}
+	}
+	return float64(reached)
+}
+
+// alphaBetaBFS computes α and β per the paper's operational definition (§4):
+// a BFS from each boundary articulation point a that never re-enters the
+// sub-graph counts "the number of vertices which a can reach without passing
+// through SGi", and a reverse BFS counts β. Sub-graphs are processed in
+// parallel with per-worker scratch, mirroring the paper's "parallel BFS"
+// step.
+func alphaBetaBFS(d *Decomposition, opt Options) {
+	g := d.G
+	n := g.NumVertices()
+	directed := g.Directed()
+	var tr *graph.Graph
+	if directed {
+		tr = g.Transpose()
+	}
+	p := par.Workers(opt.Workers)
+	scratches := make([]*abScratch, p)
+	par.ForWorker(len(d.Subgraphs), p, 1, func(w, task int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &abScratch{inSG: make([]int32, n), visited: make([]int32, n)}
+			scratches[w] = sc
+		}
+		sg := d.Subgraphs[task]
+		if len(sg.Arts) == 0 {
+			return
+		}
+		sc.sgEpoch++
+		for _, v := range sg.Verts {
+			sc.inSG[v] = sc.sgEpoch
+		}
+		for _, la := range sg.Arts {
+			a := sg.Verts[la]
+			sg.Alpha[la] = sc.count(g, a)
+			if directed {
+				sg.Beta[la] = sc.count(tr, a)
+			} else {
+				sg.Beta[la] = sg.Alpha[la]
+			}
+		}
+	})
+}

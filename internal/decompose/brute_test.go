@@ -1,0 +1,49 @@
+package decompose
+
+import (
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Cross-validation of α and β against their paper definitions computed with
+// the independent BFS package: α_SGi(a) = vertices a reaches without passing
+// through SGi; β_SGi(a) = vertices that reach a without passing through SGi.
+func TestAlphaBetaDefinition(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.SocialLike(gen.SocialParams{N: 250, AvgDeg: 4, Communities: 6,
+			TopShare: 0.4, LeafFrac: 0.3, Seed: 81}),
+		gen.SocialLike(gen.SocialParams{N: 250, AvgDeg: 4, Communities: 6,
+			TopShare: 0.4, LeafFrac: 0.3, Directed: true, Reciprocity: 0.4, Seed: 82}),
+		gen.RoadLike(gen.RoadParams{Rows: 8, Cols: 8, DeleteFrac: 0.15,
+			SpurFrac: 0.2, SpurLen: 2, Seed: 83}),
+	}
+	for gi, g := range graphs {
+		d, err := Decompose(g, Options{Threshold: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sg := range d.Subgraphs {
+			inSG := make(map[graph.V]bool, sg.NumVerts())
+			for _, v := range sg.Verts {
+				inSG[v] = true
+			}
+			for _, la := range sg.Arts {
+				a := sg.Verts[la]
+				blocked := func(v graph.V) bool { return inSG[v] && v != a }
+				alpha := float64(bfs.ReachableCount(g, a, blocked) - 1)
+				beta := float64(bfs.ReverseReachableCount(g, a, blocked) - 1)
+				if sg.Alpha[la] != alpha {
+					t.Fatalf("graph %d sg %d AP %d: alpha %v, definition %v",
+						gi, sg.ID, a, sg.Alpha[la], alpha)
+				}
+				if sg.Beta[la] != beta {
+					t.Fatalf("graph %d sg %d AP %d: beta %v, definition %v",
+						gi, sg.ID, a, sg.Beta[la], beta)
+				}
+			}
+		}
+	}
+}

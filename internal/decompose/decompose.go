@@ -1,0 +1,343 @@
+// Package decompose implements the paper's graph partition (Algorithm 1,
+// GRAPHPARTITION): it splits a graph into sub-graphs along articulation
+// points by contracting the block-cut tree with a size threshold, builds a
+// local CSR per sub-graph, and computes the three per-articulation-point
+// quantities the APGRE dependencies need:
+//
+//	α_SGi(a) — #vertices a reaches outside SGi      (paper §3.1)
+//	β_SGi(a) — #vertices outside SGi that reach a
+//	γ_SGi(s) — #neighbours of s whose DAGs are derivable from D_s
+//	            (no in-edges and a single out-edge to s; degree-1 leaves
+//	            in the undirected case)
+//
+// Deviation from the paper, documented in DESIGN.md: disconnected inputs are
+// decomposed per connected component (each component gets its own top block)
+// instead of lumping all unvisited blocks into one residual sub-graph; this
+// preserves correctness for arbitrary inputs. Isolated vertices produce no
+// sub-graph (their BC terms are all zero).
+package decompose
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bcc"
+	"repro/internal/graph"
+)
+
+// DefaultThreshold is the block-merge threshold used when Options.Threshold
+// is unset. The paper does not publish its THRESHOLD; 64 keeps tiny blocks
+// from becoming scheduling overhead while leaving real communities separate,
+// and BenchmarkAblationThreshold sweeps it.
+const DefaultThreshold = 64
+
+// AlphaBetaMethod selects how α and β are computed.
+type AlphaBetaMethod int
+
+const (
+	// AlphaBetaAuto uses the O(V+E) block-tree subtree counting for
+	// undirected graphs and per-articulation-point BFS for directed ones.
+	AlphaBetaAuto AlphaBetaMethod = iota
+	// AlphaBetaTree forces subtree counting (undirected only).
+	AlphaBetaTree
+	// AlphaBetaBFS forces the paper-faithful per-articulation-point BFS
+	// (§4: "The second step uses parallel BFS to count α and β").
+	AlphaBetaBFS
+)
+
+// Options configures Decompose.
+type Options struct {
+	// Threshold is Algorithm 1's THRESHOLD: a non-top block smaller than
+	// this merges into its father. <= 0 means DefaultThreshold.
+	Threshold int
+	// AlphaBeta selects the α/β computation method.
+	AlphaBeta AlphaBetaMethod
+	// Workers bounds parallelism in the α/β step; <= 0 means GOMAXPROCS.
+	Workers int
+	// DisableGamma turns off total-redundancy elimination (every vertex
+	// stays a root and γ ≡ 0); used by the ablation benchmarks.
+	DisableGamma bool
+	// Timings, when non-nil, receives the phase durations (the "graph
+	// partition" and "counting α/β" slices of the paper's Figure 8).
+	Timings *Timings
+}
+
+// Timings records how long the two preprocessing phases took.
+type Timings struct {
+	Partition time.Duration
+	AlphaBeta time.Duration
+}
+
+// Subgraph is one sub-graph SGi(V, E, A) of the decomposition, stored as a
+// local CSR over local vertex ids [0, len(Verts)).
+type Subgraph struct {
+	ID int
+	// Verts maps local id -> global id. Boundary articulation points appear
+	// in every sub-graph they connect (paper §3.1 property 4).
+	Verts []graph.V
+	// Local CSR over out-arcs; wts is parallel to adj when the source graph
+	// is weighted (nil otherwise).
+	offs []int64
+	adj  []int32
+	wts  []float64
+
+	// IsArt[l] reports whether local vertex l is a boundary articulation
+	// point of this sub-graph (a member of A_sgi).
+	IsArt []bool
+	// Arts lists the local ids of boundary articulation points.
+	Arts []int32
+	// Alpha[l] = α_SGi(v) for boundary APs, 0 otherwise.
+	Alpha []float64
+	// Beta[l] = β_SGi(v) for boundary APs, 0 otherwise.
+	Beta []float64
+	// Gamma[l] = γ_SGi(v): how many removed neighbours derive their DAG
+	// from v.
+	Gamma []int32
+	// Roots lists the local ids in R_sgi (BFS roots after total-redundancy
+	// removal).
+	Roots []int32
+
+	asGraph *graph.Graph // lazy AsGraph cache
+}
+
+// NumVerts returns the number of local vertices.
+func (s *Subgraph) NumVerts() int { return len(s.Verts) }
+
+// NumArcs returns the number of local out-arcs.
+func (s *Subgraph) NumArcs() int64 { return s.offs[len(s.Verts)] }
+
+// Out returns the local out-neighbors of local vertex l.
+func (s *Subgraph) Out(l int32) []int32 { return s.adj[s.offs[l]:s.offs[l+1]] }
+
+// OutWeights returns the weights parallel to Out(l); nil for unweighted
+// decompositions.
+func (s *Subgraph) OutWeights(l int32) []float64 {
+	if s.wts == nil {
+		return nil
+	}
+	return s.wts[s.offs[l]:s.offs[l+1]]
+}
+
+// Weighted reports whether the sub-graph carries arc weights.
+func (s *Subgraph) Weighted() bool { return s.wts != nil }
+
+// AsGraph materializes the sub-graph as a standalone graph.Graph over local
+// ids (arcs reproduced exactly, so it is built "directed" even when the
+// parent graph is undirected — the arc set is already symmetric then).
+// The result is cached; callers must not mutate the sub-graph afterwards.
+func (s *Subgraph) AsGraph() *graph.Graph {
+	if s.asGraph != nil {
+		return s.asGraph
+	}
+	if s.wts != nil {
+		edges := make([]graph.WeightedEdge, 0, s.NumArcs())
+		for u := int32(0); int(u) < s.NumVerts(); u++ {
+			wts := s.OutWeights(u)
+			for i, v := range s.Out(u) {
+				edges = append(edges, graph.WeightedEdge{From: u, To: v, W: wts[i]})
+			}
+		}
+		s.asGraph = graph.NewWeightedFromEdges(s.NumVerts(), edges, true)
+	} else {
+		edges := make([]graph.Edge, 0, s.NumArcs())
+		for u := int32(0); int(u) < s.NumVerts(); u++ {
+			for _, v := range s.Out(u) {
+				edges = append(edges, graph.Edge{From: u, To: v})
+			}
+		}
+		s.asGraph = graph.NewFromEdges(s.NumVerts(), edges, true)
+	}
+	return s.asGraph
+}
+
+// Decomposition is the result of Decompose.
+type Decomposition struct {
+	G         *graph.Graph
+	Subgraphs []*Subgraph
+	// TopIndex is the index of the largest sub-graph (paper's top sub-graph,
+	// Table 4) in Subgraphs, or -1 if there are none.
+	TopIndex int
+	// NumArticulation is the number of distinct boundary articulation points.
+	NumArticulation int
+	// BCC is the underlying biconnected decomposition (retained for
+	// analyzers and tests).
+	BCC *bcc.Result
+}
+
+// Decompose runs the full partition pipeline: FINDBCC, block-tree DFS with
+// threshold merging, sub-graph construction with γ/R, and α/β counting.
+func Decompose(g *graph.Graph, opt Options) (*Decomposition, error) {
+	if g.NumVertices() == 0 {
+		return &Decomposition{G: g, TopIndex: -1}, nil
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = DefaultThreshold
+	}
+	if opt.AlphaBeta == AlphaBetaTree && g.Directed() {
+		return nil, fmt.Errorf("decompose: AlphaBetaTree requires an undirected graph")
+	}
+	start := time.Now()
+	res := bcc.Find(g)
+	groups := mergeBlocks(g, res, opt.Threshold)
+	d := &Decomposition{G: g, TopIndex: -1, BCC: res}
+	buildSubgraphs(d, g, res, groups, opt)
+	partitionDone := time.Now()
+	if err := computeAlphaBeta(d, opt); err != nil {
+		return nil, err
+	}
+	if opt.Timings != nil {
+		opt.Timings.Partition = partitionDone.Sub(start)
+		opt.Timings.AlphaBeta = time.Since(partitionDone)
+	}
+	computeGammaRoots(d, opt)
+	for i, sg := range d.Subgraphs {
+		if d.TopIndex < 0 || sg.NumVerts() > d.Subgraphs[d.TopIndex].NumVerts() {
+			d.TopIndex = i
+		}
+	}
+	return d, nil
+}
+
+// mergeBlocks contracts the block-cut tree per Algorithm 1: a DFS from each
+// component's largest block, merging a popped block into its father when it
+// is small (or has <= 2 vertices and the father is the top block). It returns
+// for each block the group (future sub-graph) id it belongs to, or -1 for
+// none.
+func mergeBlocks(g *graph.Graph, res *bcc.Result, threshold int) (blockGroup []int32) {
+	nb := res.NumBlocks()
+	blockGroup = make([]int32, nb)
+	for i := range blockGroup {
+		blockGroup[i] = -1
+	}
+	if nb == 0 {
+		return blockGroup
+	}
+	// Union of merged blocks, tracked with a union-find onto the surviving
+	// parent block; sizes track deduplicated vertex counts (two blocks share
+	// exactly one vertex, the connecting articulation point).
+	parent := make([]int32, nb)
+	size := make([]int64, nb)
+	for b := 0; b < nb; b++ {
+		parent[b] = int32(b)
+		size[b] = int64(len(res.BlockVerts[b]))
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	visited := make([]bool, nb)
+	// apOwner[v] is the first block whose frame scanned vertex v. A later
+	// block skips vertices it does not own, so all blocks hanging off one
+	// articulation point become children of the owning block — this walks
+	// the true block-cut tree instead of the block clique around each AP
+	// (otherwise siblings chain under each other and the "father is the top
+	// block" merge rule of Algorithm 1 never fires).
+	apOwner := make([]int32, g.NumVertices())
+	for i := range apOwner {
+		apOwner[i] = -1
+	}
+	type frame struct {
+		block  int32
+		father int32 // block id we were discovered from, -1 at root
+		ai, bi int   // iteration state over block vertices / their blocks
+	}
+	// Component roots: largest block first within each component; iterate
+	// blocks in decreasing size order so each component's DFS starts at its
+	// maximal block (the paper's topBCC).
+	order := make([]int32, nb)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if len(res.BlockVerts[a]) != len(res.BlockVerts[b]) {
+			return len(res.BlockVerts[a]) > len(res.BlockVerts[b])
+		}
+		return a < b
+	})
+
+	var stack []frame
+	for _, top := range order {
+		if visited[top] {
+			continue
+		}
+		visited[top] = true
+		stack = append(stack[:0], frame{block: top, father: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			verts := res.BlockVerts[f.block]
+			for f.ai < len(verts) {
+				v := verts[f.ai]
+				if apOwner[v] == -1 {
+					apOwner[v] = f.block
+				} else if apOwner[v] != f.block {
+					// Owned by an ancestor: its other blocks are our
+					// siblings, discovered by the owner, not by us.
+					f.ai++
+					f.bi = 0
+					continue
+				}
+				blocks := res.VertexBlocks[v]
+				for f.bi < len(blocks) {
+					nxt := blocks[f.bi]
+					f.bi++
+					if !visited[nxt] {
+						visited[nxt] = true
+						stack = append(stack, frame{block: nxt, father: f.block})
+						advanced = true
+						break
+					}
+				}
+				if advanced {
+					break
+				}
+				f.ai++
+				f.bi = 0
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: decide whether this (possibly already merged-into)
+			// group joins its father's group.
+			cur := find(f.block)
+			stack = stack[:len(stack)-1]
+			if f.father < 0 {
+				continue
+			}
+			fat := find(f.father)
+			topGroup := find(top)
+			mergeIt := false
+			if fat != topGroup && size[cur] < int64(threshold) {
+				mergeIt = true
+			} else if fat == topGroup && size[cur] <= 2 {
+				mergeIt = true
+			}
+			if mergeIt {
+				// Child and father share exactly one articulation point.
+				size[fat] += size[cur] - 1
+				parent[cur] = fat
+			}
+		}
+	}
+	// Assign group ids to surviving roots.
+	next := int32(0)
+	groupID := make(map[int32]int32)
+	for b := int32(0); int(b) < nb; b++ {
+		r := find(b)
+		id, ok := groupID[r]
+		if !ok {
+			id = next
+			next++
+			groupID[r] = id
+		}
+		blockGroup[b] = id
+	}
+	return blockGroup
+}

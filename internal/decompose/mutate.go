@@ -1,0 +1,106 @@
+package decompose
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Mutation support for incremental BC (internal/core.Incremental): an edge
+// whose endpoints share one sub-graph can be inserted or removed without
+// touching the rest of the decomposition — the boundary articulation points,
+// α and β are all functions of the *outside* regions, which an intra-
+// sub-graph edge never reaches, and shortest paths between sub-graph
+// vertices can never leave the sub-graph either before or after the change.
+// Only the local CSR and the γ/root bookkeeping need refreshing.
+
+// MutateEdge adds (add=true) or removes the local edge between lu and lv,
+// rebuilding the sub-graph's CSR. For undirected decompositions both arc
+// directions change; for directed ones exactly the arc lu->lv. Weighted
+// sub-graphs are not supported (weighted incremental BC is future work).
+func (s *Subgraph) MutateEdge(add bool, lu, lv int32, directed bool) error {
+	if s.wts != nil {
+		return fmt.Errorf("decompose: MutateEdge on weighted sub-graph")
+	}
+	if lu == lv {
+		return fmt.Errorf("decompose: self-loop")
+	}
+	if lu < 0 || lv < 0 || int(lu) >= s.NumVerts() || int(lv) >= s.NumVerts() {
+		return fmt.Errorf("decompose: local id out of range")
+	}
+	has := func(a, b int32) bool {
+		row := s.Out(a)
+		i := sort.Search(len(row), func(i int) bool { return row[i] >= b })
+		return i < len(row) && row[i] == b
+	}
+	if add && has(lu, lv) {
+		return fmt.Errorf("decompose: arc %d->%d already present", lu, lv)
+	}
+	if !add && !has(lu, lv) {
+		return fmt.Errorf("decompose: arc %d->%d absent", lu, lv)
+	}
+	type pair struct{ from, to int32 }
+	changes := []pair{{lu, lv}}
+	if !directed {
+		changes = append(changes, pair{lv, lu})
+	}
+	nl := s.NumVerts()
+	newOffs := make([]int64, nl+1)
+	delta := make(map[int32]int64, 2)
+	for _, c := range changes {
+		if add {
+			delta[c.from]++
+		} else {
+			delta[c.from]--
+		}
+	}
+	for i := 0; i < nl; i++ {
+		newOffs[i+1] = newOffs[i] + int64(len(s.Out(int32(i)))) + delta[int32(i)]
+	}
+	newAdj := make([]int32, newOffs[nl])
+	for i := int32(0); int(i) < nl; i++ {
+		row := append([]int32(nil), s.Out(i)...)
+		for _, c := range changes {
+			if c.from != i {
+				continue
+			}
+			if add {
+				row = append(row, c.to)
+			} else {
+				for k, x := range row {
+					if x == c.to {
+						row = append(row[:k], row[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+		sort.Slice(row, func(x, y int) bool { return row[x] < row[y] })
+		copy(newAdj[newOffs[i]:newOffs[i+1]], row)
+	}
+	s.offs, s.adj = newOffs, newAdj
+	return nil
+}
+
+// RefreshRoots recomputes γ and the root set of sub-graph si against the
+// decomposition's (updated) graph; call after MutateEdge and after swapping
+// in the mutated graph with SetGraph.
+func (d *Decomposition) RefreshRoots(si int, disableGamma bool) {
+	one := &Decomposition{G: d.G, Subgraphs: []*Subgraph{d.Subgraphs[si]}}
+	computeGammaRoots(one, Options{DisableGamma: disableGamma})
+}
+
+// SetGraph swaps the underlying graph after an edge mutation. The caller
+// guarantees the new graph differs only by intra-sub-graph edges.
+func (d *Decomposition) SetGraph(g *graph.Graph) { d.G = g }
+
+// RecomputeAlphaBeta refreshes every sub-graph's α/β against the current
+// graph, keeping the partition. Needed after intra-sub-graph arc changes on
+// *directed* graphs: reachability between outside regions routes through the
+// mutated sub-graph, so other sub-graphs' α/β can shift even though the
+// partition itself stays valid. (Undirected α/β are pure region counts and
+// never change under intra-sub-graph edits.)
+func (d *Decomposition) RecomputeAlphaBeta(workers int) error {
+	return computeAlphaBeta(d, Options{AlphaBeta: AlphaBetaAuto, Workers: workers})
+}

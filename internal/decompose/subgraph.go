@@ -1,0 +1,228 @@
+package decompose
+
+import (
+	"sort"
+
+	"repro/internal/bcc"
+	"repro/internal/graph"
+)
+
+// buildSubgraphs materializes one Subgraph per merge group: vertex lists
+// (sorted by global id for determinism), local CSR with each graph arc
+// assigned to exactly one sub-graph (the one owning its undirected edge's
+// block), and the boundary articulation flags.
+func buildSubgraphs(d *Decomposition, g *graph.Graph, res *bcc.Result, blockGroup []int32, opt Options) {
+	numGroups := 0
+	for _, gr := range blockGroup {
+		if int(gr)+1 > numGroups {
+			numGroups = int(gr) + 1
+		}
+	}
+	n := g.NumVertices()
+
+	// Collect the vertex set of each group (dedup after sort: a vertex can
+	// appear in several blocks of the same group).
+	groupVerts := make([][]graph.V, numGroups)
+	for b := 0; b < res.NumBlocks(); b++ {
+		gr := blockGroup[b]
+		groupVerts[gr] = append(groupVerts[gr], res.BlockVerts[b]...)
+	}
+	for gr := range groupVerts {
+		vs := groupVerts[gr]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		w := 0
+		for i, v := range vs {
+			if i > 0 && v == vs[w-1] {
+				continue
+			}
+			vs[w] = v
+			w++
+		}
+		groupVerts[gr] = vs[:w]
+	}
+
+	// Boundary articulation points: articulation vertices whose blocks span
+	// more than one group.
+	isBoundary := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !res.IsArticulation[v] {
+			continue
+		}
+		blocks := res.VertexBlocks[v]
+		for i := 1; i < len(blocks); i++ {
+			if blockGroup[blocks[i]] != blockGroup[blocks[0]] {
+				isBoundary[v] = true
+				break
+			}
+		}
+	}
+
+	blocksOf := make([][]int32, numGroups)
+	for b := 0; b < res.NumBlocks(); b++ {
+		blocksOf[blockGroup[b]] = append(blocksOf[blockGroup[b]], int32(b))
+	}
+
+	d.Subgraphs = make([]*Subgraph, numGroups)
+	local := make([]int32, n) // global -> local, valid only for the group being built
+	weighted := g.Weighted()
+	type arc struct {
+		from, to int32
+		w        float64
+	}
+	for gr := 0; gr < numGroups; gr++ {
+		sg := &Subgraph{ID: gr, Verts: groupVerts[gr]}
+		d.Subgraphs[gr] = sg
+		for i, v := range sg.Verts {
+			local[v] = int32(i)
+		}
+		var arcs []arc
+		addArc := func(gu, gv graph.V, lu, lv int32) {
+			a := arc{from: lu, to: lv}
+			if weighted {
+				a.w = g.ArcWeight(g.ArcPos(gu, gv))
+			}
+			arcs = append(arcs, a)
+		}
+		for _, b := range blocksOf[gr] {
+			for _, e := range res.BlockEdges[b] {
+				lu, lv := local[e.From], local[e.To]
+				if g.Directed() {
+					if g.HasArc(e.From, e.To) {
+						addArc(e.From, e.To, lu, lv)
+					}
+					if g.HasArc(e.To, e.From) {
+						addArc(e.To, e.From, lv, lu)
+					}
+				} else {
+					addArc(e.From, e.To, lu, lv)
+					addArc(e.To, e.From, lv, lu)
+				}
+			}
+		}
+		// Counting-sort into a local CSR.
+		nl := len(sg.Verts)
+		offs := make([]int64, nl+1)
+		for _, a := range arcs {
+			offs[a.from+1]++
+		}
+		for i := 0; i < nl; i++ {
+			offs[i+1] += offs[i]
+		}
+		adj := make([]int32, len(arcs))
+		var wts []float64
+		if weighted {
+			wts = make([]float64, len(arcs))
+		}
+		cur := make([]int64, nl)
+		for _, a := range arcs {
+			pos := offs[a.from] + cur[a.from]
+			adj[pos] = a.to
+			if weighted {
+				wts[pos] = a.w
+			}
+			cur[a.from]++
+		}
+		for i := 0; i < nl; i++ {
+			row := adj[offs[i]:offs[i+1]]
+			if weighted {
+				wrow := wts[offs[i]:offs[i+1]]
+				sort.Sort(&arcSorter{row, wrow})
+			} else {
+				sort.Slice(row, func(x, y int) bool { return row[x] < row[y] })
+			}
+		}
+		sg.offs, sg.adj, sg.wts = offs, adj, wts
+		sg.IsArt = make([]bool, nl)
+		sg.Alpha = make([]float64, nl)
+		sg.Beta = make([]float64, nl)
+		sg.Gamma = make([]int32, nl)
+		for i, v := range sg.Verts {
+			if isBoundary[v] {
+				sg.IsArt[i] = true
+				sg.Arts = append(sg.Arts, int32(i))
+			}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if isBoundary[v] {
+			d.NumArticulation++
+		}
+	}
+}
+
+// arcSorter sorts a local adjacency row and its weights in lockstep.
+type arcSorter struct {
+	adj []int32
+	wts []float64
+}
+
+func (s *arcSorter) Len() int           { return len(s.adj) }
+func (s *arcSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *arcSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.wts[i], s.wts[j] = s.wts[j], s.wts[i]
+}
+
+// LocalID returns the local id of global vertex v in sg, or -1.
+func (s *Subgraph) LocalID(v graph.V) int32 {
+	i := sort.Search(len(s.Verts), func(i int) bool { return s.Verts[i] >= v })
+	if i < len(s.Verts) && s.Verts[i] == v {
+		return int32(i)
+	}
+	return -1
+}
+
+// computeGammaRoots fills Gamma and Roots per sub-graph (Theorem 3's
+// total-redundancy elimination). A vertex u is removed from the root set and
+// folded into γ of its neighbour s when its whole DAG derives from D_s:
+// directed, no in-edges and a single out-edge u->s; undirected, a single
+// edge u-s (with an id tie-break so mutually-qualifying pairs keep one root).
+func computeGammaRoots(d *Decomposition, opt Options) {
+	g := d.G
+	und := g.Undirected()
+	qualifies := func(v graph.V) (graph.V, bool) {
+		if g.Directed() {
+			if g.OutDegree(v) == 1 && g.InDegree(v) == 0 {
+				return g.Out(v)[0], true
+			}
+			return -1, false
+		}
+		if und.OutDegree(v) == 1 {
+			return und.Out(v)[0], true
+		}
+		return -1, false
+	}
+	if g.Directed() {
+		g.EnsureTranspose()
+	}
+	for _, sg := range d.Subgraphs {
+		for l := range sg.Gamma {
+			sg.Gamma[l] = 0 // idempotent: RefreshRoots re-runs this pass
+		}
+		removed := make([]bool, sg.NumVerts())
+		if !opt.DisableGamma {
+			for l, v := range sg.Verts {
+				s, ok := qualifies(v)
+				if !ok {
+					continue
+				}
+				if _, sToo := qualifies(s); sToo && v < s {
+					continue // keep the smaller id as the surviving root
+				}
+				ls := sg.LocalID(s)
+				if ls < 0 {
+					continue
+				}
+				removed[l] = true
+				sg.Gamma[ls]++
+			}
+		}
+		sg.Roots = sg.Roots[:0]
+		for l := range sg.Verts {
+			if !removed[l] {
+				sg.Roots = append(sg.Roots, int32(l))
+			}
+		}
+	}
+}

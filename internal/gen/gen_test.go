@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, false, 1)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 300 {
+		t.Fatalf("m = %d, want 300", g.NumEdges())
+	}
+	gd := ErdosRenyi(50, 200, true, 2)
+	if gd.NumEdges() != 200 || !gd.Directed() {
+		t.Fatalf("directed ER wrong: m=%d", gd.NumEdges())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(60, 120, false, 42)
+	b := ErdosRenyi(60, 120, false, 42)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := ErdosRenyi(60, 120, false, 43)
+	same := true
+	ec := c.Edges()
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiClampsM(t *testing.T) {
+	g := ErdosRenyi(5, 1000, false, 1)
+	if g.NumEdges() != 10 { // K5
+		t.Fatalf("m = %d, want 10", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 7)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Every non-seed vertex adds exactly k distinct edges.
+	wantM := int64(3*2 + (500-4)*3) // seed K4 has 6 edges
+	if g.NumEdges() != wantM {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), wantM)
+	}
+	_, count := graph.ConnectedComponents(g)
+	if count != 1 {
+		t.Fatalf("BA graph not connected: %d components", count)
+	}
+	st := graph.Stats(g)
+	if st.MaxOut < 20 {
+		t.Fatalf("BA hub degree %d suspiciously small — no power-law tail", st.MaxOut)
+	}
+}
+
+// Every seeded generator must reproduce bit-identical graphs across calls —
+// a regression test for the map-iteration nondeterminism once present in
+// BarabasiAlbert (it made "deterministic" experiments unrepeatable).
+func TestGeneratorsBitIdentical(t *testing.T) {
+	builders := map[string]func() *graph.Graph{
+		"ba":   func() *graph.Graph { return BarabasiAlbert(300, 3, 5) },
+		"er":   func() *graph.Graph { return ErdosRenyi(200, 600, true, 5) },
+		"rmat": func() *graph.Graph { return RMAT(8, 4, 0.57, 0.19, 0.19, false, 5) },
+		"tree": func() *graph.Graph { return Tree(200, 5) },
+		"social": func() *graph.Graph {
+			return SocialLike(SocialParams{N: 400, AvgDeg: 5, Communities: 6, TopShare: 0.5, LeafFrac: 0.3, Seed: 5})
+		},
+		"road": func() *graph.Graph {
+			return RoadLike(RoadParams{Rows: 12, Cols: 12, DeleteFrac: 0.1, SpurFrac: 0.1, SpurLen: 2, Seed: 5})
+		},
+		"web": func() *graph.Graph { return WebLike(WebParams{N: 300, Sites: 5, AvgDeg: 6, LeafFrac: 0.2, Seed: 5}) },
+	}
+	for name, build := range builders {
+		a, b := build(), build()
+		ea, eb := a.Edges(), b.Edges()
+		if len(ea) != len(eb) {
+			t.Fatalf("%s: nondeterministic edge count", name)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%s: nondeterministic edges at %d: %v vs %v", name, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, true, 3)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8*1024 {
+		t.Fatalf("m = %d out of range", g.NumEdges())
+	}
+	st := graph.Stats(g)
+	if st.MaxOut < 30 {
+		t.Fatalf("RMAT hub degree %d — skew missing", st.MaxOut)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RMAT with bad probabilities should panic")
+		}
+	}()
+	RMAT(4, 2, 0.5, 0.4, 0.3, false, 1)
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	if g := Grid2D(5, 7); g.NumVertices() != 35 || g.NumEdges() != int64(5*6+4*7) {
+		t.Fatalf("grid: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g := Path(10); g.NumEdges() != 9 {
+		t.Fatalf("path m=%d", g.NumEdges())
+	}
+	if g := Cycle(10); g.NumEdges() != 10 {
+		t.Fatalf("cycle m=%d", g.NumEdges())
+	}
+	if g := Star(10); g.NumEdges() != 9 || g.OutDegree(0) != 9 {
+		t.Fatalf("star wrong")
+	}
+	if g := Complete(6); g.NumEdges() != 15 {
+		t.Fatalf("K6 m=%d", g.NumEdges())
+	}
+	if g := Lollipop(5, 4); g.NumVertices() != 9 || g.NumEdges() != 10+4 {
+		t.Fatalf("lollipop n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g := Tree(100, 5); g.NumEdges() != 99 {
+		t.Fatalf("tree m=%d", g.NumEdges())
+	}
+	if _, c := graph.ConnectedComponents(Tree(100, 5)); c != 1 {
+		t.Fatal("tree not connected")
+	}
+}
+
+func TestCaveman(t *testing.T) {
+	g := Caveman(4, 5, false)
+	if g.NumVertices() != 20 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// 4 cliques of 10 edges + 3 bridges.
+	if g.NumEdges() != 43 {
+		t.Fatalf("m = %d, want 43", g.NumEdges())
+	}
+	if _, c := graph.ConnectedComponents(g); c != 1 {
+		t.Fatal("caveman not connected")
+	}
+	ring := Caveman(4, 5, true)
+	if ring.NumEdges() != 44 {
+		t.Fatalf("ring m = %d, want 44", ring.NumEdges())
+	}
+}
+
+func TestSocialLikeUndirected(t *testing.T) {
+	g := SocialLike(SocialParams{N: 2000, AvgDeg: 6, Communities: 12, TopShare: 0.5, LeafFrac: 0.3, Seed: 9})
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if _, c := graph.ConnectedComponents(g); c != 1 {
+		t.Fatal("social graph not connected")
+	}
+	st := graph.Stats(g)
+	// Leaf fraction should be at least the requested 30% (hubs can also end
+	// up degree-1 only by accident, never below).
+	if got := float64(st.Degree1) / 2000; got < 0.28 {
+		t.Fatalf("degree-1 fraction %.2f, want >= 0.28", got)
+	}
+}
+
+func TestSocialLikeDirected(t *testing.T) {
+	g := SocialLike(SocialParams{N: 1500, AvgDeg: 6, Communities: 8, TopShare: 0.5,
+		LeafFrac: 0.25, Directed: true, Reciprocity: 0.5, Seed: 11})
+	if !g.Directed() {
+		t.Fatal("not directed")
+	}
+	if _, c := graph.ConnectedComponents(g); c != 1 {
+		t.Fatal("directed social graph not weakly connected")
+	}
+	st := graph.Stats(g)
+	if st.Sources < 300 {
+		t.Fatalf("Sources = %d, want >= 300 (leaves must be no-in single-out)", st.Sources)
+	}
+}
+
+func TestWebLike(t *testing.T) {
+	g := WebLike(WebParams{N: 1200, Sites: 10, AvgDeg: 8, LeafFrac: 0.2, Seed: 13})
+	if !g.Directed() || g.NumVertices() != 1200 {
+		t.Fatalf("weblike wrong: %v", g)
+	}
+	if _, c := graph.ConnectedComponents(g); c != 1 {
+		t.Fatal("web graph not weakly connected")
+	}
+}
+
+func TestRoadLike(t *testing.T) {
+	g := RoadLike(RoadParams{Rows: 30, Cols: 30, DeleteFrac: 0.1, SpurFrac: 0.05, SpurLen: 3, Seed: 17})
+	if g.Directed() {
+		t.Fatal("road graph must be undirected")
+	}
+	if _, c := graph.ConnectedComponents(g); c != 1 {
+		t.Fatal("road graph not connected")
+	}
+	st := graph.Stats(g)
+	if st.MeanOut > 4.5 {
+		t.Fatalf("road mean degree %.2f too high", st.MeanOut)
+	}
+	if st.MaxOut > 8 {
+		t.Fatalf("road max degree %d too high", st.MaxOut)
+	}
+}
+
+func TestHumanDiseaseLike(t *testing.T) {
+	g := HumanDiseaseLike(1)
+	if g.NumVertices() != 1419 {
+		t.Fatalf("n = %d, want 1419", g.NumVertices())
+	}
+	// Edge count in the ballpark of the real network's 3926.
+	if g.NumEdges() < 2500 || g.NumEdges() > 5500 {
+		t.Fatalf("m = %d, want ~3926", g.NumEdges())
+	}
+}
+
+// Property: SocialLike is always weakly connected and has the requested size,
+// across a range of parameters.
+func TestQuickSocialConnected(t *testing.T) {
+	f := func(seed int64, commsRaw, leafRaw uint8) bool {
+		comms := 1 + int(commsRaw%15)
+		leaf := float64(leafRaw%50) / 100
+		g := SocialLike(SocialParams{N: 800, AvgDeg: 4, Communities: comms,
+			TopShare: 0.5, LeafFrac: leaf, Seed: seed})
+		if g.NumVertices() != 800 {
+			return false
+		}
+		_, c := graph.ConnectedComponents(g)
+		return c == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+// ConnectedComponents labels the (weakly) connected components of g: the
+// returned slice maps each vertex to a component id in [0, count), and count
+// is the number of components. Directed graphs are treated as undirected
+// (weak connectivity), which is what the decomposition step needs.
+func ConnectedComponents(g *Graph) (labels []int32, count int) {
+	und := g
+	if g.Directed() {
+		// Weak connectivity: explore both arc directions without building a
+		// full symmetrized copy.
+		g.EnsureTranspose()
+	}
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]V, 0, 1024)
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], V(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range und.Out(u) {
+				if labels[v] < 0 {
+					labels[v] = id
+					queue = append(queue, v)
+				}
+			}
+			if g.Directed() {
+				for _, v := range g.In(u) {
+					if labels[v] < 0 {
+						labels[v] = id
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the induced subgraph of g's largest weakly
+// connected component together with the mapping from new ids to original ids.
+// The paper's inputs are used as single connected instances; our synthetic
+// generators occasionally produce stray small components, which experiments
+// strip with this helper.
+func LargestComponent(g *Graph) (*Graph, []V) {
+	labels, count := ConnectedComponents(g)
+	if count <= 1 {
+		ids := make([]V, g.NumVertices())
+		for i := range ids {
+			ids[i] = V(i)
+		}
+		return g, ids
+	}
+	sizes := make([]int64, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := int32(0)
+	for c := int32(1); c < int32(count); c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	keep := make([]V, 0, sizes[best])
+	for v, l := range labels {
+		if l == best {
+			keep = append(keep, V(v))
+		}
+	}
+	sub, _ := Induced(g, keep)
+	return sub, keep
+}
+
+// Induced builds the subgraph induced by the given vertices (which must be
+// distinct). It returns the subgraph, whose vertex i corresponds to keep[i],
+// and the old->new mapping (-1 for dropped vertices).
+func Induced(g *Graph, keep []V) (*Graph, []int32) {
+	oldToNew := make([]int32, g.NumVertices())
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for i, v := range keep {
+		oldToNew[v] = int32(i)
+	}
+	var edges []Edge
+	for i, v := range keep {
+		for _, w := range g.Out(v) {
+			nw := oldToNew[w]
+			if nw < 0 {
+				continue
+			}
+			if g.Directed() || int32(i) < nw {
+				edges = append(edges, Edge{V(i), nw})
+			}
+		}
+	}
+	return NewFromEdges(len(keep), edges, g.Directed()), oldToNew
+}

@@ -1,0 +1,107 @@
+package graph
+
+import "sort"
+
+// Vertex relabeling for memory locality, after Cong & Makarychev [24] (the
+// paper's related work §6: "perform prefetching and appropriate re-layout of
+// the graph nodes to improve locality"). BFS order places each frontier
+// contiguously; degree order places hubs together. Both return the relabeled
+// graph and the old->new permutation so scores can be mapped back.
+
+// Relabel builds the graph with vertex v renamed to perm[v]. perm must be a
+// permutation of [0, n); weights are preserved.
+func Relabel(g *Graph, perm []V) *Graph {
+	n := g.NumVertices()
+	if len(perm) != n {
+		panic("graph: permutation length mismatch")
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			panic("graph: not a permutation")
+		}
+		seen[p] = true
+	}
+	if g.Weighted() {
+		edges := g.WeightedEdges()
+		out := make([]WeightedEdge, len(edges))
+		for i, e := range edges {
+			out[i] = WeightedEdge{From: perm[e.From], To: perm[e.To], W: e.W}
+		}
+		return NewWeightedFromEdges(n, out, g.Directed())
+	}
+	edges := g.Edges()
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{From: perm[e.From], To: perm[e.To]}
+	}
+	return NewFromEdges(n, out, g.Directed())
+}
+
+// BFSOrder returns the old->new permutation that renumbers vertices in BFS
+// discovery order from the lowest-id vertex of each component (undirected
+// view), so BFS frontiers become contiguous id ranges.
+func BFSOrder(g *Graph) []V {
+	und := g.Undirected()
+	n := g.NumVertices()
+	perm := make([]V, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	next := V(0)
+	queue := make([]V, 0, 256)
+	for s := 0; s < n; s++ {
+		if perm[s] >= 0 {
+			continue
+		}
+		perm[s] = next
+		next++
+		queue = append(queue[:0], V(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range und.Out(u) {
+				if perm[v] < 0 {
+					perm[v] = next
+					next++
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return perm
+}
+
+// DegreeOrder returns the old->new permutation sorting vertices by
+// decreasing undirected degree (ties by id), packing hubs into the same
+// cache lines.
+func DegreeOrder(g *Graph) []V {
+	und := g.Undirected()
+	n := g.NumVertices()
+	order := make([]V, n)
+	for i := range order {
+		order[i] = V(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := und.OutDegree(order[i]), und.OutDegree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	perm := make([]V, n)
+	for newID, old := range order {
+		perm[old] = V(newID)
+	}
+	return perm
+}
+
+// InversePermutation returns the new->old mapping for a perm produced by
+// BFSOrder/DegreeOrder, used to map relabeled scores back:
+// scores_old[v] = scores_new[perm[v]].
+func InversePermutation(perm []V) []V {
+	inv := make([]V, len(perm))
+	for old, neu := range perm {
+		inv[neu] = V(old)
+	}
+	return inv
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelIdentity(t *testing.T) {
+	g := NewFromEdges(4, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}, false)
+	id := []V{0, 1, 2, 3}
+	g2 := Relabel(g, id)
+	if g2.NumArcs() != g.NumArcs() || !g2.HasArc(1, 2) {
+		t.Fatal("identity relabel changed the graph")
+	}
+}
+
+func TestRelabelPermutes(t *testing.T) {
+	g := NewFromEdges(3, []Edge{{From: 0, To: 1}, {From: 1, To: 2}}, true)
+	g2 := Relabel(g, []V{2, 0, 1}) // 0->2, 1->0, 2->1
+	if !g2.HasArc(2, 0) || !g2.HasArc(0, 1) || g2.HasArc(0, 2) {
+		t.Fatal("relabel arcs wrong")
+	}
+}
+
+func TestRelabelValidation(t *testing.T) {
+	g := NewFromEdges(3, []Edge{{From: 0, To: 1}}, false)
+	mustPanic(t, func() { Relabel(g, []V{0, 1}) })    // wrong length
+	mustPanic(t, func() { Relabel(g, []V{0, 1, 1}) }) // duplicate
+	mustPanic(t, func() { Relabel(g, []V{0, 1, 5}) }) // out of range
+}
+
+func TestRelabelPreservesWeights(t *testing.T) {
+	g := NewWeightedFromEdges(3, []WeightedEdge{{From: 0, To: 1, W: 4}, {From: 1, To: 2, W: 9}}, false)
+	g2 := Relabel(g, []V{1, 2, 0})
+	if !g2.Weighted() {
+		t.Fatal("weights dropped")
+	}
+	if w := g2.ArcWeight(g2.ArcPos(1, 2)); w != 4 {
+		t.Fatalf("w = %v, want 4", w)
+	}
+}
+
+func TestBFSOrderContiguity(t *testing.T) {
+	// Path: BFS order from 0 is the identity.
+	g := NewFromEdges(5, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4}}, false)
+	perm := BFSOrder(g)
+	for i, p := range perm {
+		if int(p) != i {
+			t.Fatalf("path BFS order: perm[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestDegreeOrderHubsFirst(t *testing.T) {
+	g := NewFromEdges(5, []Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 3, To: 4}}, false)
+	perm := DegreeOrder(g)
+	if perm[0] != 0 {
+		t.Fatalf("hub 0 (deg 3) should map to 0, got %d", perm[0])
+	}
+	if perm[3] != 1 {
+		t.Fatalf("vertex 3 (deg 2) should map to 1, got %d", perm[3])
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	perm := []V{2, 0, 1}
+	inv := InversePermutation(perm)
+	for old, neu := range perm {
+		if inv[neu] != V(old) {
+			t.Fatal("inverse wrong")
+		}
+	}
+}
+
+// Property: relabeling preserves degree multiset and arc count, and
+// relabeling back with the inverse restores the original adjacency.
+func TestQuickRelabelRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		// Deterministic small random graph from the seed.
+		n := 20
+		var edges []Edge
+		x := uint64(seed)
+		for k := 0; k < 50; k++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			u := V(x % uint64(n))
+			v := V((x >> 8) % uint64(n))
+			edges = append(edges, Edge{From: u, To: v})
+		}
+		g := NewFromEdges(n, edges, false)
+		perm := BFSOrder(g)
+		g2 := Relabel(g, perm)
+		if g2.NumArcs() != g.NumArcs() {
+			return false
+		}
+		g3 := Relabel(g2, InversePermutation(perm))
+		for u := 0; u < n; u++ {
+			a, b := g.Out(V(u)), g3.Out(V(u))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

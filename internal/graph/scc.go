@@ -1,0 +1,102 @@
+package graph
+
+// StronglyConnectedComponents labels the SCCs of a directed graph with an
+// iterative Tarjan algorithm (recursion-free, like the biconnected
+// decomposition, to survive path-shaped graphs). For undirected graphs SCCs
+// coincide with connected components. Returns per-vertex component ids in
+// reverse topological order of the condensation (an arc u->v between
+// different components implies labels[u] > labels[v]) and the component
+// count.
+func StronglyConnectedComponents(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var sccStack []V
+	type frame struct {
+		v    V
+		iter int32
+	}
+	var stack []frame
+	var next int32
+
+	for root := V(0); int(root) < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		stack = append(stack[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		sccStack = append(sccStack, root)
+		onStack[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			adj := g.Out(v)
+			if int(f.iter) < len(adj) {
+				w := adj[f.iter]
+				f.iter++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					stack = append(stack, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := int32(count)
+				count++
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					labels[w] = id
+					if w == v {
+						break
+					}
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestSCCSize returns the vertex count of the biggest strongly connected
+// component — the "core" directed BC sweeps actually traverse.
+func LargestSCCSize(g *Graph) int {
+	labels, count := StronglyConnectedComponents(g)
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}

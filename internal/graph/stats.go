@@ -1,0 +1,80 @@
+package graph
+
+import "sort"
+
+// DegreeStats summarizes a graph's degree distribution; it backs the
+// motivation census (paper Figure 2: articulation points and single-edge
+// vertices in real graphs).
+type DegreeStats struct {
+	MinOut, MaxOut int
+	MeanOut        float64
+	// Degree1 counts vertices with total degree 1 in the undirected view —
+	// the "vertices with a single edge" of §2.2.
+	Degree1 int
+	// Sources counts directed vertices with no in-edges and exactly one
+	// out-edge: the total-redundancy candidates of §2.2 / Theorem 3.
+	Sources int
+	// Isolated counts degree-0 vertices.
+	Isolated int
+}
+
+// Stats computes DegreeStats in one pass.
+func Stats(g *Graph) DegreeStats {
+	n := g.NumVertices()
+	st := DegreeStats{MinOut: int(^uint(0) >> 1)}
+	if n == 0 {
+		st.MinOut = 0
+		return st
+	}
+	g.EnsureTranspose()
+	var sum int64
+	for u := 0; u < n; u++ {
+		d := g.OutDegree(V(u))
+		sum += int64(d)
+		if d < st.MinOut {
+			st.MinOut = d
+		}
+		if d > st.MaxOut {
+			st.MaxOut = d
+		}
+		if g.Directed() {
+			if d == 0 && g.InDegree(V(u)) == 0 {
+				st.Isolated++
+			}
+			if g.InDegree(V(u)) == 0 && d == 1 {
+				st.Sources++
+			}
+			if g.InDegree(V(u))+d == 1 {
+				st.Degree1++
+			}
+		} else {
+			switch d {
+			case 0:
+				st.Isolated++
+			case 1:
+				st.Degree1++
+				st.Sources++
+			}
+		}
+	}
+	st.MeanOut = float64(sum) / float64(n)
+	return st
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs of out-degrees,
+// used to eyeball power-law shape in the dataset tests.
+func DegreeHistogram(g *Graph) (degrees []int, counts []int64) {
+	h := map[int]int64{}
+	for u := 0; u < g.NumVertices(); u++ {
+		h[g.OutDegree(V(u))]++
+	}
+	for d := range h {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int64, len(degrees))
+	for i, d := range degrees {
+		counts[i] = h[d]
+	}
+	return degrees, counts
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WeightedEdge is an edge with a positive length. Weighted graphs extend the
+// paper's unweighted setting: the articulation-point factorization
+// σ_st = σ_sa·σ_at holds for any positive edge weights, so APGRE's
+// decomposition applies unchanged with Dijkstra in place of BFS (see
+// internal/core's weighted engine).
+type WeightedEdge struct {
+	From, To V
+	W        float64
+}
+
+// NewWeightedFromEdges builds a weighted CSR graph. Self-loops are dropped;
+// parallel edges keep the minimum weight (only the shortest parallel edge
+// can lie on a shortest path). Weights must be positive — zero or negative
+// weights would break both Dijkstra and the biconnected shortest-path
+// arguments — and violations panic, since silently accepting them would
+// corrupt every downstream score.
+func NewWeightedFromEdges(n int, edges []WeightedEdge, directed bool) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	for _, e := range edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.From, e.To, n))
+		}
+		if !(e.W > 0) {
+			panic(fmt.Sprintf("graph: edge (%d,%d) has non-positive weight %v", e.From, e.To, e.W))
+		}
+	}
+	type arc struct {
+		to V
+		w  float64
+	}
+	rows := make([][]arc, n)
+	add := func(u, v V, w float64) { rows[u] = append(rows[u], arc{v, w}) }
+	for _, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		add(e.From, e.To, e.W)
+		if !directed {
+			add(e.To, e.From, e.W)
+		}
+	}
+	offs := make([]int64, n+1)
+	var total int64
+	for u := 0; u < n; u++ {
+		row := rows[u]
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].to != row[j].to {
+				return row[i].to < row[j].to
+			}
+			return row[i].w < row[j].w
+		})
+		w := 0
+		for i := range row {
+			if i > 0 && row[i].to == row[w-1].to {
+				continue // duplicate: the sort put the lightest first
+			}
+			row[w] = row[i]
+			w++
+		}
+		rows[u] = row[:w]
+		offs[u+1] = offs[u] + int64(w)
+		total += int64(w)
+	}
+	adj := make([]V, total)
+	wts := make([]float64, total)
+	for u := 0; u < n; u++ {
+		base := offs[u]
+		for i, a := range rows[u] {
+			adj[base+int64(i)] = a.to
+			wts[base+int64(i)] = a.w
+		}
+	}
+	return &Graph{n: n, directed: directed, offs: offs, adj: adj, wts: wts}
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.wts != nil }
+
+// OutWeights returns the weights parallel to Out(u). Panics on unweighted
+// graphs.
+func (g *Graph) OutWeights(u V) []float64 {
+	if g.wts == nil {
+		panic("graph: OutWeights on unweighted graph")
+	}
+	return g.wts[g.offs[u]:g.offs[u+1]]
+}
+
+// InWeights returns the weights parallel to In(u). For undirected graphs it
+// is OutWeights(u); directed graphs must have called EnsureTranspose (In
+// does so on first use). Panics on unweighted graphs.
+func (g *Graph) InWeights(u V) []float64 {
+	if g.wts == nil {
+		panic("graph: InWeights on unweighted graph")
+	}
+	if !g.directed {
+		return g.OutWeights(u)
+	}
+	if g.inOffs == nil {
+		g.buildTranspose()
+	}
+	return g.inWts[g.inOffs[u]:g.inOffs[u+1]]
+}
+
+// ArcWeight returns the weight of the arc at CSR position pos
+// (see ArcBase/ArcPos). Unweighted graphs report 1 for every arc.
+func (g *Graph) ArcWeight(pos int64) float64 {
+	if g.wts == nil {
+		return 1
+	}
+	return g.wts[pos]
+}
+
+// WeightedEdges returns the logical weighted edge list (From < To once per
+// undirected edge).
+func (g *Graph) WeightedEdges() []WeightedEdge {
+	out := make([]WeightedEdge, 0, g.NumEdges())
+	for u := 0; u < g.n; u++ {
+		base := g.offs[u]
+		for i, v := range g.Out(V(u)) {
+			if g.directed || V(u) < v {
+				out = append(out, WeightedEdge{From: V(u), To: v, W: g.ArcWeight(base + int64(i))})
+			}
+		}
+	}
+	return out
+}
+
+// UnitWeights returns a weighted copy of an unweighted graph with every
+// edge at weight 1 (useful for cross-checking the weighted engines against
+// the unweighted ones).
+func (g *Graph) UnitWeights() *Graph {
+	var wedges []WeightedEdge
+	for _, e := range g.Edges() {
+		wedges = append(wedges, WeightedEdge{From: e.From, To: e.To, W: 1})
+	}
+	return NewWeightedFromEdges(g.n, wedges, g.directed)
+}

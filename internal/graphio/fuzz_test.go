@@ -1,0 +1,113 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic on arbitrary input — they
+// either return a graph or an error. Run with `go test -fuzz FuzzReadEdgeList
+// ./internal/graphio` for continuous fuzzing; the seed corpus below runs as
+// part of the normal test suite.
+
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment\n1 2\n",
+		"1 2\n2 3\n3 1\n",
+		"999999999999999999999 1\n",
+		"1 2 extra fields here\n",
+		"-1 5\n",
+		"a b\n",
+		strings.Repeat("7 8\n", 100),
+		"\x00\x01\x02",
+		"1\t2\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), true)
+		f.Add([]byte(s), false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		g, _, err := ReadEdgeList(bytes.NewReader(data), directed)
+		if err == nil && g != nil {
+			// Returned graphs must be internally consistent.
+			if g.NumArcs() < 0 || g.NumVertices() < 0 {
+				t.Fatal("negative sizes")
+			}
+			var buf bytes.Buffer
+			if werr := WriteEdgeList(&buf, g); werr != nil {
+				t.Fatalf("write-back failed: %v", werr)
+			}
+		}
+	})
+}
+
+func FuzzReadWeightedEdgeList(f *testing.F) {
+	seeds := []string{
+		"0 1 2.5\n",
+		"0 1\n",
+		"0 1 -1\n",
+		"0 1 NaN\n",
+		"0 1 Inf\n",
+		"0 1 1e308\n1 2 1e-308\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		g, _, err := ReadWeightedEdgeList(bytes.NewReader(data), directed)
+		if err == nil && g != nil && g.NumArcs() > 0 {
+			// Every accepted weight must be positive.
+			for u := int32(0); int(u) < g.NumVertices(); u++ {
+				for _, w := range g.OutWeights(u) {
+					if !(w > 0) {
+						t.Fatalf("accepted non-positive weight %v", w)
+					}
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	seeds := []string{
+		"p sp 3 2\na 1 2 5\na 2 3 4\n",
+		"c only comments\n",
+		"p sp 0 0\n",
+		"p sp -1 2\n",
+		"p sp 2 1\na 1 2 1\nq\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadDIMACS(bytes.NewReader(data), false)
+		if err == nil && g != nil && g.NumVertices() < 0 {
+			t.Fatal("negative vertex count accepted")
+		}
+		ReadDIMACSWeighted(bytes.NewReader(data), true)
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// A valid file plus mutations.
+	var buf bytes.Buffer
+	g, _, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"), false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("APGR\x01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never allocate absurdly (the header caps
+		// guard that); errors are fine.
+		ReadBinary(bytes.NewReader(data))
+	})
+}

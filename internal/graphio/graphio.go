@@ -1,0 +1,436 @@
+// Package graphio reads and writes graphs in the formats the paper's inputs
+// come in: SNAP-style whitespace edge lists, DIMACS shortest-path challenge
+// files (the road networks), plus a fast binary CSR format for caching
+// generated datasets between harness runs.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadEdgeList parses a SNAP-style edge list: one "src dst" pair per line,
+// '#' or '%' lines are comments, blank lines ignored. Vertex ids may be
+// arbitrary non-negative integers; they are remapped to a dense [0, n) space
+// in first-appearance order. Returns the graph and the dense->original id
+// mapping.
+func ReadEdgeList(r io.Reader, directed bool) (*graph.Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	remap := make(map[int64]int32)
+	var orig []int64
+	id := func(raw int64) int32 {
+		if v, ok := remap[raw]; ok {
+			return v
+		}
+		v := int32(len(orig))
+		remap[raw] = v
+		orig = append(orig, raw)
+		return v
+	}
+	var edges []graph.Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graphio: line %d: want 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graphio: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, graph.Edge{From: id(u), To: id(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graphio: %v", err)
+	}
+	return graph.NewFromEdges(len(orig), edges, directed), orig, nil
+}
+
+// ReadWeightedEdgeList parses a three-column "src dst weight" list with the
+// same comment/remap rules as ReadEdgeList. Missing weights default to 1.
+func ReadWeightedEdgeList(r io.Reader, directed bool) (*graph.Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	remap := make(map[int64]int32)
+	var orig []int64
+	id := func(raw int64) int32 {
+		if v, ok := remap[raw]; ok {
+			return v
+		}
+		v := int32(len(orig))
+		remap[raw] = v
+		orig = append(orig, raw)
+		return v
+	}
+	var edges []graph.WeightedEdge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graphio: line %d: want >= 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graphio: line %d: negative vertex id", lineNo)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graphio: line %d: bad weight: %v", lineNo, err)
+			}
+			if !(w > 0) {
+				return nil, nil, fmt.Errorf("graphio: line %d: non-positive weight %v", lineNo, w)
+			}
+		}
+		edges = append(edges, graph.WeightedEdge{From: id(u), To: id(v), W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graphio: %v", err)
+	}
+	return graph.NewWeightedFromEdges(len(orig), edges, directed), orig, nil
+}
+
+// WriteWeightedEdgeList writes g as a three-column weighted edge list.
+func WriteWeightedEdgeList(w io.Writer, g *graph.Graph) error {
+	if !g.Weighted() {
+		return fmt.Errorf("graphio: graph is unweighted; use WriteEdgeList")
+	}
+	bw := bufio.NewWriter(w)
+	kind := "Undirected"
+	if g.Directed() {
+		kind = "Directed"
+	}
+	fmt.Fprintf(bw, "# %s weighted graph\n# Nodes: %d Edges: %d\n", kind, g.NumVertices(), g.NumEdges())
+	for _, e := range g.WeightedEdges() {
+		fmt.Fprintf(bw, "%d\t%d\t%g\n", e.From, e.To, e.W)
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACSWeighted parses a DIMACS .gr file keeping arc weights (the road
+// networks' travel times), unlike ReadDIMACS which drops them.
+func ReadDIMACSWeighted(r io.Reader, directed bool) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []graph.WeightedEdge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graphio: line %d: bad problem line", lineNo)
+			}
+			nn, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+			}
+			n = nn
+		case "a", "e":
+			if n < 0 {
+				return nil, fmt.Errorf("graphio: line %d: arc before problem line", lineNo)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graphio: line %d: weighted arc needs 3 fields", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graphio: line %d: bad arc", lineNo)
+			}
+			if u < 1 || u > n || v < 1 || v > n {
+				return nil, fmt.Errorf("graphio: line %d: vertex out of range", lineNo)
+			}
+			if !(w > 0) {
+				return nil, fmt.Errorf("graphio: line %d: non-positive weight", lineNo)
+			}
+			edges = append(edges, graph.WeightedEdge{From: int32(u - 1), To: int32(v - 1), W: w})
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: missing problem line")
+	}
+	return graph.NewWeightedFromEdges(n, edges, directed), nil
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list with a descriptive header.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "Undirected"
+	if g.Directed() {
+		kind = "Directed"
+	}
+	fmt.Fprintf(bw, "# %s graph\n# Nodes: %d Edges: %d\n", kind, g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d\t%d\n", e.From, e.To)
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS shortest-path challenge graph ("p sp n m"
+// problem line, "a u v w" arc lines, 1-indexed vertices; weights are ignored
+// since the paper treats road networks as unweighted). DIMACS files list each
+// undirected road segment as two arcs; pass directed=false to collapse them.
+func ReadDIMACS(r io.Reader, directed bool) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []graph.Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graphio: line %d: bad problem line", lineNo)
+			}
+			nn, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+			}
+			n = nn
+		case "a", "e":
+			if n < 0 {
+				return nil, fmt.Errorf("graphio: line %d: arc before problem line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graphio: line %d: bad arc line", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graphio: line %d: bad arc endpoints", lineNo)
+			}
+			if u < 1 || u > n || v < 1 || v > n {
+				return nil, fmt.Errorf("graphio: line %d: vertex out of range", lineNo)
+			}
+			edges = append(edges, graph.Edge{From: int32(u - 1), To: int32(v - 1)})
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: missing problem line")
+	}
+	return graph.NewFromEdges(n, edges, directed), nil
+}
+
+const binMagic = "APGR\x01"
+
+// WriteBinary writes g in the repository's binary CSR cache format.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	flags := uint32(0)
+	if g.Directed() {
+		flags = 1
+	}
+	hdr := []any{flags, uint64(g.NumVertices()), uint64(g.NumArcs())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(g.OutDegree(int32(u)))); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if err := binary.Write(bw, binary.LittleEndian, g.Out(int32(u))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graphio: reading magic: %v", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("graphio: bad magic %q", magic)
+	}
+	var flags uint32
+	var n, arcs uint64
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
+		return nil, err
+	}
+	if n > 1<<31 || arcs > 1<<40 {
+		return nil, fmt.Errorf("graphio: implausible sizes n=%d arcs=%d", n, arcs)
+	}
+	degs := make([]uint32, n)
+	if err := binary.Read(br, binary.LittleEndian, degs); err != nil {
+		return nil, err
+	}
+	var total uint64
+	for _, d := range degs {
+		total += uint64(d)
+	}
+	if total != arcs {
+		return nil, fmt.Errorf("graphio: degree sum %d != arc count %d", total, arcs)
+	}
+	directed := flags&1 != 0
+	adj := make([]int32, arcs)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, err
+	}
+	var edges []graph.Edge
+	pos := 0
+	for u := uint64(0); u < n; u++ {
+		for k := 0; k < int(degs[u]); k++ {
+			v := adj[pos]
+			pos++
+			if v < 0 || uint64(v) >= n {
+				return nil, fmt.Errorf("graphio: neighbor %d out of range", v)
+			}
+			if directed || int32(u) <= v {
+				edges = append(edges, graph.Edge{From: int32(u), To: v})
+			}
+		}
+	}
+	return graph.NewFromEdges(int(n), edges, directed), nil
+}
+
+// Format names accepted by LoadFile/SaveFile.
+const (
+	FormatEdgeList = "edgelist"
+	FormatDIMACS   = "dimacs"
+	FormatBinary   = "bin"
+	FormatGraphML  = "graphml"
+	FormatJSON     = "json"
+)
+
+// LoadFile reads a graph file, inferring format from the extension
+// (.txt/.el -> edge list, .gr -> DIMACS, .bin -> binary) unless format is
+// non-empty.
+func LoadFile(path, format string, directed bool) (*graph.Graph, error) {
+	if format == "" {
+		format = inferFormat(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case FormatEdgeList:
+		g, _, err := ReadEdgeList(f, directed)
+		return g, err
+	case FormatDIMACS:
+		return ReadDIMACS(f, directed)
+	case FormatBinary:
+		return ReadBinary(f)
+	case FormatGraphML:
+		g, _, err := ReadGraphML(f)
+		return g, err
+	case FormatJSON:
+		return ReadJSON(f)
+	default:
+		return nil, fmt.Errorf("graphio: unknown format %q", format)
+	}
+}
+
+// SaveFile writes a graph file; format inference mirrors LoadFile
+// (DIMACS output is not supported).
+func SaveFile(path, format string, g *graph.Graph) error {
+	if format == "" {
+		format = inferFormat(path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case FormatEdgeList:
+		return WriteEdgeList(f, g)
+	case FormatBinary:
+		return WriteBinary(f, g)
+	case FormatGraphML:
+		return WriteGraphML(f, g)
+	case FormatJSON:
+		return WriteJSON(f, g)
+	default:
+		return fmt.Errorf("graphio: cannot write format %q", format)
+	}
+}
+
+func inferFormat(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".gr"):
+		return FormatDIMACS
+	case strings.HasSuffix(path, ".bin"):
+		return FormatBinary
+	case strings.HasSuffix(path, ".graphml") || strings.HasSuffix(path, ".xml"):
+		return FormatGraphML
+	case strings.HasSuffix(path, ".json"):
+		return FormatJSON
+	default:
+		return FormatEdgeList
+	}
+}

@@ -1,0 +1,253 @@
+package graphio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment line
+% also a comment
+
+10 20
+20 30
+10 30
+`
+	g, orig, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if orig[0] != 10 || orig[1] != 20 || orig[2] != 30 {
+		t.Fatalf("orig = %v", orig)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",    // too few fields
+		"a b\n",  // non-numeric
+		"1 x\n",  // non-numeric second
+		"-1 2\n", // negative id
+		"3 -7\n", // negative id
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in), true); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(80, 200, true, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, orig, err := ReadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadEdgeList densifies ids in appearance order, so compare through the
+	// returned mapping: g2's vertex i is g's vertex orig[i].
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+	for u := 0; u < g2.NumVertices(); u++ {
+		for _, v := range g2.Out(int32(u)) {
+			if !g.HasArc(int32(orig[u]), int32(orig[v])) {
+				t.Fatalf("arc %d->%d not in original", orig[u], orig[v])
+			}
+		}
+	}
+}
+
+func TestReadDIMACS(t *testing.T) {
+	in := `c road network fragment
+p sp 4 5
+a 1 2 7
+a 2 1 7
+a 2 3 4
+a 3 2 4
+a 1 4 2
+`
+	g, err := ReadDIMACS(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Paired arcs collapse: edges {0,1},{1,2},{0,3}.
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"a 1 2 3\n",           // arc before problem line
+		"p sp x 3\n",          // bad n
+		"p sp 2 1\na 1\n",     // short arc line
+		"p sp 2 1\na 1 5 1\n", // out of range
+		"p sp 2 1\nq 1 2\n",   // unknown record
+		"c only comments\n",   // no problem line
+		"p sp 2 1\na 1 z 1\n", // bad endpoint
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in), false); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTripUndirected(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 300, AvgDeg: 4, Communities: 5, TopShare: 0.5, LeafFrac: 0.2, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryRoundTripDirected(t *testing.T) {
+	g := gen.ErdosRenyi(120, 500, true, 9)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Directed() {
+		t.Fatal("directedness lost")
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph file at all"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	// Truncated valid prefix.
+	g := gen.Path(10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Caveman(3, 4, false)
+
+	elPath := filepath.Join(dir, "g.txt")
+	if err := SaveFile(elPath, "", g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(elPath, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveFile(binPath, "", g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := LoadFile(binPath, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g3)
+
+	if err := SaveFile(filepath.Join(dir, "g.gr"), "", g); err == nil {
+		t.Fatal("expected error writing DIMACS")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt"), "", false); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := LoadFile(elPath, "nope", false); err == nil {
+		t.Fatal("expected unknown-format error")
+	}
+}
+
+// Property: binary round trip preserves any small random graph exactly.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		g := gen.ErdosRenyi(40, 100, directed, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() || a.Directed() != b.Directed() {
+		return false
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		x, y := a.Out(int32(u)), b.Out(int32(u))
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func assertSameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if !sameGraph(a, b) {
+		t.Fatalf("graphs differ: %v vs %v", a, b)
+	}
+}
+
+func TestLoadSaveGraphMLJSON(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Caveman(3, 4, false)
+	for _, name := range []string{"g.graphml", "g.json"} {
+		p := filepath.Join(dir, name)
+		if err := SaveFile(p, "", g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := LoadFile(p, "", false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertSameGraph(t, g, g2)
+	}
+}

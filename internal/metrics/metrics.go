@@ -1,0 +1,131 @@
+// Package metrics computes the performance figures the paper reports —
+// TEPS_BC = n·m/t (§5.1, citing [35]) and speedups — and renders the
+// aligned text tables the benchmark harness prints.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// TEPS returns the BC traversal rate n·m/t in edges per second. The metric
+// is defined against the classic O(nm) algorithm's work regardless of how
+// much work the measured algorithm actually did — like MFLOPS for matrix
+// multiplication measured against O(N³) — which is exactly how APGRE's rates
+// can exceed the memory bandwidth implied by naive traversal.
+func TEPS(n int, m int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) * float64(m) / d.Seconds()
+}
+
+// MTEPS is TEPS in millions (the unit of Table 3).
+func MTEPS(n int, m int64, d time.Duration) float64 {
+	return TEPS(n, m, d) / 1e6
+}
+
+// Speedup returns base/measured, the ratio form of Figure 6.
+func Speedup(base, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return base.Seconds() / measured.Seconds()
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with padded columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatFloat renders a float compactly: large values without decimals,
+// small ones with enough precision to compare.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// FormatDuration renders a duration with millisecond precision for the
+// table column widths used by the harness.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Percent renders a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

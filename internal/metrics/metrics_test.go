@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTEPS(t *testing.T) {
+	// n=1000, m=1e6, t=1s → 1e9 TEPS = 1000 MTEPS.
+	if got := TEPS(1000, 1_000_000, time.Second); got != 1e9 {
+		t.Fatalf("TEPS = %v", got)
+	}
+	if got := MTEPS(1000, 1_000_000, time.Second); got != 1000 {
+		t.Fatalf("MTEPS = %v", got)
+	}
+	if TEPS(10, 10, 0) != 0 {
+		t.Fatal("zero duration must yield 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(4*time.Second, time.Second); got != 4 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero measured must yield 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"graph", "time", "mteps"}}
+	tb.AddRow("enron", 1500*time.Millisecond, 123.456)
+	tb.AddRow("wiki-talk-very-long", 70*time.Microsecond, 2400.0)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "1.50s") || !strings.Contains(out, "2400") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+	// Columns aligned: header and first row start of col2 must match.
+	hIdx := strings.Index(lines[1], "time")
+	rIdx := strings.Index(lines[3], "1.50s")
+	if hIdx != rIdx {
+		t.Fatalf("column misaligned: %d vs %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestFormats(t *testing.T) {
+	cases := map[float64]string{0: "0", 5000: "5000", 42.42: "42.4", 1.23456: "1.235"}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatDuration(2 * time.Millisecond); got != "2.0ms" {
+		t.Fatalf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(900 * time.Nanosecond); got != "0µs" {
+		t.Fatalf("FormatDuration = %q", got)
+	}
+	if got := Percent(0.123); got != "12.3%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}

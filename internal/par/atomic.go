@@ -1,0 +1,21 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// AddFloat64 atomically adds delta to *addr with a CAS loop. It is the
+// float-accumulation primitive used where several workers update a shared
+// dependency or BC slot concurrently.
+func AddFloat64(addr *float64, delta float64) {
+	bits := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(bits)
+		neu := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, neu) {
+			return
+		}
+	}
+}

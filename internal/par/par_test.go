@@ -1,0 +1,163 @@
+package par
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 63, 1000} {
+		for _, p := range []int{1, 2, 3, 8} {
+			seen := make([]int32, n)
+			For(n, p, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 5000} {
+		for _, p := range []int{1, 3, 16} {
+			seen := make([]int32, n)
+			used := ForWorker(n, p, 7, func(w, i int) {
+				if w < 0 {
+					t.Errorf("negative worker id")
+				}
+				atomic.AddInt32(&seen[i], 1)
+			})
+			if used < 1 && n > 0 {
+				t.Fatalf("ForWorker returned %d workers", used)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsWithinRange(t *testing.T) {
+	var maxW int64 = -1
+	used := ForWorker(10000, 4, 16, func(w, i int) {
+		for {
+			old := atomic.LoadInt64(&maxW)
+			if int64(w) <= old || atomic.CompareAndSwapInt64(&maxW, old, int64(w)) {
+				break
+			}
+		}
+	})
+	if int(maxW) >= used {
+		t.Fatalf("worker id %d out of range [0,%d)", maxW, used)
+	}
+}
+
+func TestDynamicSum(t *testing.T) {
+	const n = 12345
+	var sum int64
+	Dynamic(n, 8, 10, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	want := int64(n) * int64(n-1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestBagDrain(t *testing.T) {
+	b := NewBag[int](4)
+	want := []int{}
+	for w := 0; w < 4; w++ {
+		for k := 0; k < 10; k++ {
+			v := w*100 + k
+			b.Add(w, v)
+			want = append(want, v)
+		}
+	}
+	if b.Size() != len(want) {
+		t.Fatalf("Size = %d, want %d", b.Size(), len(want))
+	}
+	got := b.Drain(nil)
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("Drain returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if b.Size() != 0 {
+		t.Fatalf("bag not empty after Drain: %d", b.Size())
+	}
+	// Drain into a reused buffer must not keep stale entries.
+	b.Add(0, 42)
+	got2 := b.Drain(got)
+	if len(got2) != 1 || got2[0] != 42 {
+		t.Fatalf("reuse Drain = %v, want [42]", got2)
+	}
+}
+
+func TestBagZeroWorkers(t *testing.T) {
+	b := NewBag[string](0)
+	b.Add(0, "x")
+	if got := b.Drain(nil); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Drain = %v", got)
+	}
+}
+
+// Property: For and a serial loop compute identical reductions.
+func TestQuickForEquivalence(t *testing.T) {
+	f := func(vals []int32, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		var parSum int64
+		For(len(vals), p, func(i int) { atomic.AddInt64(&parSum, int64(vals[i])) })
+		var serSum int64
+		for _, v := range vals {
+			serSum += int64(v)
+		}
+		return parSum == serSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolUnevenTasks(t *testing.T) {
+	work := make([]int64, 9)
+	Pool(9, 3, func(task int) {
+		// Task 0 is much heavier; dynamic scheduling must still complete all.
+		iters := 1
+		if task == 0 {
+			iters = 100000
+		}
+		var s int64
+		for k := 0; k < iters; k++ {
+			s += int64(k)
+		}
+		atomic.StoreInt64(&work[task], s+1)
+	})
+	for i, v := range work {
+		if v == 0 {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package sssp provides single-source shortest paths over weighted graphs:
+// a reference binary-heap Dijkstra and the Meyer–Sanders delta-stepping
+// algorithm with shared-memory parallel relaxation. Delta-stepping is the
+// parallel weighted substrate the weighted APGRE engine (internal/core) uses
+// the way the unweighted engine uses level-synchronous BFS — the paper
+// treats weighted parallelism as out of scope; this package closes that gap.
+package sssp
+
+import (
+	"container/heap"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Unreached marks unreachable vertices in distance slices.
+var Unreached = math.Inf(1)
+
+// Dijkstra computes distances from s over a weighted graph (positive
+// weights) with a binary heap and lazy deletion.
+func Dijkstra(g *graph.Graph, s graph.V) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[s] = 0
+	pq := &dijkstraPQ{}
+	heap.Push(pq, dijkstraItem{0, s})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(dijkstraItem)
+		if it.d != dist[it.v] {
+			continue
+		}
+		wts := g.OutWeights(it.v)
+		for i, w := range g.Out(it.v) {
+			if nd := it.d + wts[i]; nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, dijkstraItem{nd, w})
+			}
+		}
+	}
+	return dist
+}
+
+type dijkstraItem struct {
+	d float64
+	v graph.V
+}
+
+type dijkstraPQ []dijkstraItem
+
+func (q dijkstraPQ) Len() int           { return len(q) }
+func (q dijkstraPQ) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q dijkstraPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *dijkstraPQ) Push(x any)        { *q = append(*q, x.(dijkstraItem)) }
+func (q *dijkstraPQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// DefaultDelta picks the classic Δ heuristic: the average edge weight
+// (clamped positive), balancing bucket count against re-relaxations.
+func DefaultDelta(g *graph.Graph) float64 {
+	if g.NumArcs() == 0 {
+		return 1
+	}
+	var sum float64
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, w := range g.OutWeights(graph.V(u)) {
+			sum += w
+		}
+	}
+	d := sum / float64(g.NumArcs())
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
+// DeltaStepping computes distances from s with bucketed parallel relaxation:
+// bucket i holds tentative distances in [iΔ, (i+1)Δ); light edges (w ≤ Δ)
+// are relaxed iteratively within the bucket, heavy edges once per settled
+// vertex. delta <= 0 selects DefaultDelta; workers <= 0 means GOMAXPROCS.
+func DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	if n == 0 {
+		return dist
+	}
+	if delta <= 0 {
+		delta = DefaultDelta(g)
+	}
+	p := par.Workers(workers)
+	dist[s] = 0
+
+	buckets := [][]graph.V{{s}}
+	bag := par.NewBag[graph.V](p)
+	inBucket := func(v graph.V, i int) bool {
+		d := atomicLoadFloat(&dist[v])
+		return d >= float64(i)*delta && d < float64(i+1)*delta
+	}
+
+	// relaxInto atomically lowers dist[v] and reports whether it changed.
+	relax := func(v graph.V, nd float64) bool {
+		for {
+			old := atomicLoadFloat(&dist[v])
+			if nd >= old {
+				return false
+			}
+			if atomicCASFloat(&dist[v], old, nd) {
+				return true
+			}
+		}
+	}
+
+	for i := 0; i < len(buckets); i++ {
+		var settled []graph.V
+		// Light-edge fixpoint within bucket i.
+		frontier := buckets[i]
+		buckets[i] = nil
+		for len(frontier) > 0 {
+			cur := frontier
+			frontier = nil
+			// Deduplicate lazily: process a vertex only if it still belongs
+			// to this bucket.
+			par.ForWorker(len(cur), p, 0, func(w, k int) {
+				v := cur[k]
+				if !inBucket(v, i) {
+					return
+				}
+				dv := atomicLoadFloat(&dist[v])
+				wts := g.OutWeights(v)
+				for j, u := range g.Out(v) {
+					if wts[j] > delta {
+						continue
+					}
+					if relax(u, dv+wts[j]) {
+						bag.Add(w, u)
+					}
+				}
+			})
+			settled = append(settled, cur...)
+			reinserted := bag.Drain(nil)
+			for _, v := range reinserted {
+				if inBucket(v, i) {
+					frontier = append(frontier, v)
+				} else {
+					pushBucket(&buckets, v, int(atomicLoadFloat(&dist[v])/delta))
+				}
+			}
+		}
+		// Heavy edges of everything settled in this bucket.
+		par.ForWorker(len(settled), p, 0, func(w, k int) {
+			v := settled[k]
+			dv := atomicLoadFloat(&dist[v])
+			if dv >= float64(i+1)*delta || dv < float64(i)*delta {
+				return // stale duplicate from a light-phase reinsertion
+			}
+			wts := g.OutWeights(v)
+			for j, u := range g.Out(v) {
+				if wts[j] <= delta {
+					continue
+				}
+				if relax(u, dv+wts[j]) {
+					bag.Add(w, u)
+				}
+			}
+		})
+		for _, v := range bag.Drain(nil) {
+			pushBucket(&buckets, v, int(atomicLoadFloat(&dist[v])/delta))
+		}
+	}
+	return dist
+}
+
+func pushBucket(buckets *[][]graph.V, v graph.V, idx int) {
+	for len(*buckets) <= idx {
+		*buckets = append(*buckets, nil)
+	}
+	(*buckets)[idx] = append((*buckets)[idx], v)
+}
+
+func atomicLoadFloat(addr *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(floatPtr(addr))))
+}
+
+func atomicCASFloat(addr *float64, old, new float64) bool {
+	return atomic.CompareAndSwapUint64((*uint64)(floatPtr(addr)),
+		math.Float64bits(old), math.Float64bits(new))
+}

@@ -1,0 +1,106 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDijkstraHand(t *testing.T) {
+	// 0 -1- 1 -1- 2, plus a heavy shortcut 0 -5- 2.
+	g := graph.NewWeightedFromEdges(3, []graph.WeightedEdge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}, {From: 0, To: 2, W: 5},
+	}, false)
+	d := Dijkstra(g, 0)
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.NewWeightedFromEdges(3, []graph.WeightedEdge{{From: 0, To: 1, W: 2}}, true)
+	d := Dijkstra(g, 0)
+	if !math.IsInf(d[2], 1) {
+		t.Fatalf("dist[2] = %v, want +Inf", d[2])
+	}
+	if d[1] != 2 {
+		t.Fatalf("dist[1] = %v", d[1])
+	}
+}
+
+func sameDists(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ia, ib := math.IsInf(a[i], 1), math.IsInf(b[i], 1)
+		if ia != ib {
+			return false
+		}
+		if !ia && math.Abs(a[i]-b[i]) > 1e-9*(1+a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.WithRandomWeights(gen.Grid2D(12, 12), 7, 1),
+		gen.WithRandomWeights(gen.BarabasiAlbert(300, 3, 2), 9, 2),
+		gen.WithRandomWeights(gen.ErdosRenyi(200, 800, true, 3), 5, 3),
+		gen.WithRandomWeights(gen.SocialLike(gen.SocialParams{N: 400, AvgDeg: 5,
+			Communities: 6, TopShare: 0.5, LeafFrac: 0.3, Seed: 4}), 6, 4),
+		gen.WithRandomWeights(gen.Path(64), 9, 5),
+	}
+	for gi, g := range cases {
+		want := Dijkstra(g, 0)
+		for _, delta := range []float64{0, 0.5, 1, 3, 100} {
+			for _, p := range []int{1, 3} {
+				got := DeltaStepping(g, 0, delta, p)
+				if !sameDists(want, got) {
+					t.Fatalf("graph %d delta %v workers %d: distances differ", gi, delta, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingSingleVertex(t *testing.T) {
+	g := graph.NewWeightedFromEdges(1, nil, false)
+	d := DeltaStepping(g, 0, 0, 2)
+	if d[0] != 0 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestDefaultDelta(t *testing.T) {
+	g := graph.NewWeightedFromEdges(3, []graph.WeightedEdge{
+		{From: 0, To: 1, W: 2}, {From: 1, To: 2, W: 4},
+	}, false)
+	if d := DefaultDelta(g); d != 3 {
+		t.Fatalf("delta = %v, want 3 (avg)", d)
+	}
+	if d := DefaultDelta(graph.NewWeightedFromEdges(2, nil, false)); d != 1 {
+		t.Fatalf("empty delta = %v, want 1", d)
+	}
+}
+
+// Property: delta-stepping agrees with Dijkstra on random weighted graphs
+// across Δ choices.
+func TestQuickDeltaStepping(t *testing.T) {
+	f := func(seed int64, cfg uint8) bool {
+		directed := cfg&1 != 0
+		base := gen.ErdosRenyi(80, 240, directed, seed)
+		g := gen.WithRandomWeights(base, 1+int(cfg>>1)%9, seed+1)
+		want := Dijkstra(g, 0)
+		got := DeltaStepping(g, 0, float64(cfg%5), 2)
+		return sameDists(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

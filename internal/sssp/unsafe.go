@@ -1,0 +1,6 @@
+package sssp
+
+import "unsafe"
+
+// floatPtr reinterprets a float64 pointer for atomic bit operations.
+func floatPtr(addr *float64) unsafe.Pointer { return unsafe.Pointer(addr) }

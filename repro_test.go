@@ -1,0 +1,268 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeAlgorithmsAgree(t *testing.T) {
+	g := GenerateSocial(SocialParams{N: 300, AvgDeg: 5, Communities: 5,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 1})
+	want, err := BetweennessCentrality(g, Options{Algorithm: AlgoSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms() {
+		got, err := BetweennessCentrality(g, Options{Algorithm: algo, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for v := range want {
+			if math.Abs(want[v]-got[v]) > 1e-9*math.Max(1, want[v]) {
+				t.Fatalf("%s differs at %d: %v vs %v", algo, v, want[v], got[v])
+			}
+		}
+	}
+	// Empty algorithm defaults to APGRE.
+	if _, err := BetweennessCentrality(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BetweennessCentrality(g, Options{Algorithm: "bogus"}); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestAsyncDirectedRejected(t *testing.T) {
+	g := GenerateErdosRenyi(30, 60, true, 1)
+	if _, err := BetweennessCentrality(g, Options{Algorithm: AlgoAsync}); err == nil {
+		t.Fatal("async must reject directed graphs")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	bc := []float64{1, 5, 3, 5, 0}
+	top := TopK(bc, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopK len = %d", len(top))
+	}
+	if top[0].Vertex != 1 || top[1].Vertex != 3 || top[2].Vertex != 2 {
+		t.Fatalf("TopK order wrong: %v", top)
+	}
+	if got := TopK(bc, 100); len(got) != 5 {
+		t.Fatal("TopK must clamp k")
+	}
+}
+
+func TestDecomposeAndRedundancy(t *testing.T) {
+	g := GenerateSocial(SocialParams{N: 500, AvgDeg: 5, Communities: 8,
+		TopShare: 0.5, LeafFrac: 0.35, Seed: 2})
+	d, err := Decompose(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Subgraphs < 2 || d.ArticulationPoints < 1 || d.TopVerts <= 0 {
+		t.Fatalf("decomposition shape: %+v", d)
+	}
+	if d.Roots >= int64(g.NumVertices()) {
+		t.Fatal("expected gamma elimination on leafy graph")
+	}
+	r, err := AnalyzeRedundancy(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partial+r.Total <= 0 {
+		t.Fatalf("no redundancy found: %+v", r)
+	}
+}
+
+func TestApproximateBC(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 3)
+	exact, _ := BetweennessCentrality(g, Options{Algorithm: AlgoSerial})
+	approx := ApproximateBC(g, 80, 1)
+	// Same argmax neighbourhood.
+	argmax := func(x []float64) int {
+		b := 0
+		for i := range x {
+			if x[i] > x[b] {
+				b = i
+			}
+		}
+		return b
+	}
+	rank := 0
+	top := argmax(approx)
+	for i := range exact {
+		if exact[i] > exact[top] {
+			rank++
+		}
+	}
+	if rank >= 5 {
+		t.Fatalf("approximation too loose: exact rank %d", rank)
+	}
+}
+
+func TestGraphIORoundTrip(t *testing.T) {
+	g := GenerateRoad(RoadParams{Rows: 10, Cols: 10, DeleteFrac: 0.1, SpurFrac: 0.1, SpurLen: 2, Seed: 4})
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveGraph(path, "", g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumArcs() != g.NumArcs() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestBreakdownExposed(t *testing.T) {
+	g := GenerateWeb(WebParams{N: 400, Sites: 8, AvgDeg: 8, LeafFrac: 0.2, Seed: 5})
+	var bd Breakdown
+	if _, err := BetweennessCentrality(g, Options{Breakdown: &bd}); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Subgraphs == 0 || bd.Total <= 0 {
+		t.Fatalf("breakdown not populated: %+v", bd)
+	}
+}
+
+func TestTiming(t *testing.T) {
+	if d := Timing(func() {}); d < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestWeightedFacade(t *testing.T) {
+	base := GenerateSocial(SocialParams{N: 250, AvgDeg: 4, Communities: 5,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 6})
+	g := AttachRandomWeights(base, 5, 7)
+	if !g.Weighted() {
+		t.Fatal("AttachRandomWeights lost weights")
+	}
+	want, err := WeightedBetweennessCentrality(g, Options{Algorithm: AlgoSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WeightedBetweennessCentrality(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(want[v]-got[v]) > 1e-9*math.Max(1, want[v]) {
+			t.Fatalf("weighted APGRE differs at %d", v)
+		}
+	}
+	if _, err := WeightedBetweennessCentrality(g, Options{Algorithm: AlgoSuccs}); err == nil {
+		t.Fatal("expected error for unsupported weighted algorithm")
+	}
+	if _, err := WeightedBetweennessCentrality(base, Options{Algorithm: AlgoSerial}); err == nil {
+		t.Fatal("expected error for unweighted graph")
+	}
+	// Direct construction.
+	wg := NewWeightedGraph(3, []WeightedEdge{{From: 0, To: 1, W: 2}, {From: 1, To: 2, W: 3}}, false)
+	bc, err := WeightedBetweennessCentrality(wg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc[1] != 2 {
+		t.Fatalf("middle bc = %v, want 2", bc[1])
+	}
+}
+
+func TestEdgeBetweennessFacade(t *testing.T) {
+	g := NewGraph(4, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}, false)
+	es := EdgeBetweenness(g, 2)
+	if len(es) != 3 {
+		t.Fatalf("edges = %d", len(es))
+	}
+	// Middle edge of the path dominates.
+	if es[0].Edge.From != 1 || es[0].Edge.To != 2 {
+		t.Fatalf("top edge = %+v", es[0])
+	}
+}
+
+func TestClosenessFacade(t *testing.T) {
+	g := GenerateSocial(SocialParams{N: 200, AvgDeg: 4, Communities: 4,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 9})
+	res, err := ClosenessCentrality(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Closeness) != 200 {
+		t.Fatalf("len = %d", len(res.Closeness))
+	}
+	for v, c := range res.Closeness {
+		if c <= 0 || c > 1 {
+			t.Fatalf("closeness[%d] = %v out of (0,1]", v, c)
+		}
+	}
+	// Directed path: source sees everything, sink nothing.
+	gd := NewGraph(3, []Edge{{From: 0, To: 1}, {From: 1, To: 2}}, true)
+	rd, err := ClosenessCentrality(gd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Closeness[2] != 0 || rd.Closeness[0] <= 0 {
+		t.Fatalf("directed closeness = %v", rd.Closeness)
+	}
+}
+
+func TestCommunitiesFacade(t *testing.T) {
+	g := GenerateSocial(SocialParams{N: 90, AvgDeg: 4, Communities: 3,
+		TopShare: 0.34, LeafFrac: 0, Seed: 8})
+	res, err := DetectCommunities(g, CommunityOptions{MaxRemovals: 10, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities < 2 {
+		t.Fatalf("communities = %d", res.Communities)
+	}
+	if q := Modularity(g, res.Labels); math.Abs(q-res.Modularity) > 1e-9 {
+		t.Fatalf("modularity mismatch: %v vs %v", q, res.Modularity)
+	}
+}
+
+func TestNewFacadeExtensions(t *testing.T) {
+	g := GenerateSocial(SocialParams{N: 150, AvgDeg: 4, Communities: 4,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 13})
+
+	h := HarmonicCentrality(g, 2)
+	if len(h) != 150 || h[0] < 0 {
+		t.Fatalf("harmonic = %v...", h[0])
+	}
+
+	for _, strat := range []PivotStrategy{PivotUniform, PivotDegree, PivotMaxMin} {
+		approx, err := ApproximateBCWith(g, 40, strat, 1)
+		if err != nil || len(approx) != 150 {
+			t.Fatalf("strategy %v: %v", strat, err)
+		}
+	}
+
+	// Relabeling preserves BC up to the permutation.
+	want, _ := BetweennessCentrality(g, Options{Algorithm: AlgoSerial})
+	g2, perm := RelabelBFS(g)
+	got, err := BetweennessCentrality(g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(want[v]-got[perm[v]]) > 1e-9*(1+want[v]) {
+			t.Fatalf("relabeled BC differs at %d", v)
+		}
+	}
+	g3, perm3 := RelabelByDegree(g)
+	if g3.NumArcs() != g.NumArcs() || len(perm3) != 150 {
+		t.Fatal("degree relabel shape wrong")
+	}
+
+	// Incremental facade.
+	inc, err := NewIncrementalBC(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.BC()) != 150 {
+		t.Fatal("incremental BC length")
+	}
+}
