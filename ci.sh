@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# ci.sh — the repository's verification gauntlet:
+#   1. tier-1: go build ./... && go test ./...
+#   2. race pass over the parallel hot paths (core, par, brandes)
+#   3. bcbench -json smoke run on the smallest dataset, then the regression
+#      gate self-compared (identical inputs must exit 0)
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> tier-1: go build ./... && go test ./..."
+go build ./...
+go test ./...
+
+echo "==> race: internal/core internal/par internal/brandes"
+go test -race ./internal/core ./internal/par ./internal/brandes
+
+echo "==> bcbench -json smoke (email-enron, scale 0.05)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/bcbench -table 2 -datasets email-enron -scale 0.05 -json "$tmp"
+artifact=$(ls "$tmp"/BENCH_*.json)
+echo "==> bcbench -check self-compare ($artifact)"
+go run ./cmd/bcbench -check -tolerance 5 "$artifact" "$artifact"
+
+echo "ci.sh: all checks passed"

@@ -17,20 +17,24 @@ import (
 	"repro"
 	"repro/internal/graphio"
 	"repro/internal/metrics"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "graph file (edge list, .gr, or .bin)")
-		format   = flag.String("format", "", "input format override")
-		directed = flag.Bool("directed", false, "treat edge-list input as directed")
-		weighted = flag.Bool("weighted", false, "read edge weights (3rd column / DIMACS arc weights)")
-		metric   = flag.String("metric", "bc", "metric: bc|closeness|edge")
-		algo     = flag.String("algo", "apgre", "algorithm: apgre|serial|preds|succs|locksyncfree|async|hybrid")
-		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
-		topK     = flag.Int("top", 10, "print the top-K entries")
-		thresh   = flag.Int("threshold", 0, "APGRE decomposition threshold")
-		verbose  = flag.Bool("v", false, "print APGRE phase breakdown")
+		in         = flag.String("in", "", "graph file (edge list, .gr, or .bin)")
+		format     = flag.String("format", "", "input format override")
+		directed   = flag.Bool("directed", false, "treat edge-list input as directed")
+		weighted   = flag.Bool("weighted", false, "read edge weights (3rd column / DIMACS arc weights)")
+		metric     = flag.String("metric", "bc", "metric: bc|closeness|edge")
+		algo       = flag.String("algo", "apgre", "algorithm: apgre|serial|preds|succs|locksyncfree|async|hybrid")
+		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		topK       = flag.Int("top", 10, "print the top-K entries")
+		thresh     = flag.Int("threshold", 0, "APGRE decomposition threshold")
+		verbose    = flag.Bool("v", false, "print APGRE phase breakdown")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -45,6 +49,12 @@ func main() {
 	}
 	fmt.Printf("loaded %v\n", g)
 
+	prof, err := profiling.Start(*cpuprofile, *memprofile, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bc: %v\n", err)
+		os.Exit(1)
+	}
+
 	switch *metric {
 	case "bc":
 		runBC(g, *algo, *workers, *thresh, *topK, *verbose, *weighted)
@@ -53,8 +63,13 @@ func main() {
 	case "edge":
 		runEdgeBC(g, *workers, *topK)
 	default:
+		prof.Stop()
 		fmt.Fprintf(os.Stderr, "bc: unknown -metric %q\n", *metric)
 		os.Exit(2)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "bc: profiling: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -101,8 +116,8 @@ func runBC(g *repro.Graph, algo string, workers, thresh, topK int, verbose, weig
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%s finished in %s (%.1f MTEPS)\n", algo,
-		metrics.FormatDuration(elapsed), metrics.MTEPS(g.NumVertices(), g.NumEdges(), elapsed))
+	fmt.Printf("%s finished in %s (%s MTEPS)\n", algo,
+		metrics.FormatDuration(elapsed), metrics.FormatMTEPS(metrics.MTEPS(g.NumVertices(), g.NumEdges(), elapsed)))
 	if verbose && opt.Algorithm == repro.AlgoAPGRE {
 		fmt.Printf("breakdown: partition=%s alpha/beta=%s bc(top)=%s bc(rest)=%s subgraphs=%d APs=%d roots=%d\n",
 			metrics.FormatDuration(bd.Partition), metrics.FormatDuration(bd.AlphaBeta),

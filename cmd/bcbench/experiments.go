@@ -21,7 +21,8 @@ type config struct {
 	threshold int
 	datasets  map[string]bool
 	algos     map[string]bool
-	out       io.Writer // defaults to os.Stdout in main; injectable in tests
+	out       io.Writer         // defaults to os.Stdout in main; injectable in tests
+	rec       *metrics.Recorder // nil unless -json is set; Recorder no-ops on nil
 }
 
 func (c config) w() io.Writer {
@@ -29,6 +30,31 @@ func (c config) w() io.Writer {
 		return c.out
 	}
 	return os.Stdout
+}
+
+// record emits one machine-readable benchmark record alongside the text
+// tables (nil recorder → no-op).
+func (c config) record(rec metrics.Record) {
+	if rec.Scale == 0 {
+		rec.Scale = c.scale
+	}
+	c.rec.Add(rec)
+}
+
+// breakdownRecord converts core's instrumentation into the serializable
+// mirror type (internal/metrics does not import internal/core).
+func breakdownRecord(bd core.Breakdown) *metrics.PhaseBreakdown {
+	return &metrics.PhaseBreakdown{
+		Partition:     bd.Partition,
+		AlphaBeta:     bd.AlphaBeta,
+		TopBC:         bd.TopBC,
+		RestBC:        bd.RestBC,
+		Total:         bd.Total,
+		TraversedArcs: bd.TraversedArcs,
+		Roots:         bd.Roots,
+		Subgraphs:     bd.Subgraphs,
+		Articulations: bd.Articulations,
+	}
 }
 
 func (c config) keepDataset(name string) bool {
@@ -158,22 +184,24 @@ func figure7(c config) error {
 }
 
 // algoRunner runs one named algorithm, returning scores (ignored) and an
-// "unsupported" flag mirroring the paper's "-" table entries.
+// "unsupported" flag mirroring the paper's "-" table entries. bd is filled
+// with phase instrumentation by the algorithms that support it (APGRE); the
+// baselines ignore it.
 type algoRunner struct {
 	name string
-	run  func(g *graph.Graph, workers, threshold int) ([]float64, error)
+	run  func(g *graph.Graph, workers, threshold int, bd *core.Breakdown) ([]float64, error)
 }
 
 func runners() []algoRunner {
 	return []algoRunner{
-		{"apgre", func(g *graph.Graph, w, th int) ([]float64, error) {
-			return core.Compute(g, core.Options{Workers: w, Threshold: th})
+		{"apgre", func(g *graph.Graph, w, th int, bd *core.Breakdown) ([]float64, error) {
+			return core.Compute(g, core.Options{Workers: w, Threshold: th, Breakdown: bd})
 		}},
-		{"preds", func(g *graph.Graph, w, _ int) ([]float64, error) { return brandes.Preds(g, w), nil }},
-		{"succs", func(g *graph.Graph, w, _ int) ([]float64, error) { return brandes.Succs(g, w), nil }},
-		{"lockSyncFree", func(g *graph.Graph, w, _ int) ([]float64, error) { return brandes.LockSyncFree(g, w), nil }},
-		{"async", func(g *graph.Graph, w, _ int) ([]float64, error) { return brandes.Async(g, w) }},
-		{"hybrid", func(g *graph.Graph, w, _ int) ([]float64, error) { return brandes.Hybrid(g, w), nil }},
+		{"preds", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Preds(g, w), nil }},
+		{"succs", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Succs(g, w), nil }},
+		{"lockSyncFree", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.LockSyncFree(g, w), nil }},
+		{"async", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Async(g, w) }},
+		{"hybrid", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Hybrid(g, w), nil }},
 	}
 }
 
@@ -198,17 +226,34 @@ func timings(c config, want map[string]bool) error {
 		start := time.Now()
 		brandes.Serial(g)
 		m.serial = time.Since(start)
+		c.record(metrics.Record{Experiment: "tables2-3", Graph: ds.Name,
+			Algorithm: "serial", Workers: 1, Verts: m.n, Edges: m.m,
+			Wall: m.serial, MTEPS: metrics.MTEPS(m.n, m.m, m.serial), Speedup: 1})
 		for _, r := range rs {
 			if !c.keepAlgo(r.name) {
 				continue
 			}
+			var bd core.Breakdown
 			start = time.Now()
-			_, err := r.run(g, c.workers, c.threshold)
+			_, err := r.run(g, c.workers, c.threshold, &bd)
 			if err != nil {
 				m.missing[r.name] = true // e.g. async on directed graphs
+				c.record(metrics.Record{Experiment: "tables2-3", Graph: ds.Name,
+					Algorithm: r.name, Workers: c.workers, Verts: m.n, Edges: m.m,
+					Unsupported: true})
 				continue
 			}
-			m.algo[r.name] = time.Since(start)
+			d := time.Since(start)
+			m.algo[r.name] = d
+			rec := metrics.Record{Experiment: "tables2-3", Graph: ds.Name,
+				Algorithm: r.name, Workers: c.workers, Verts: m.n, Edges: m.m,
+				Wall: d, MTEPS: metrics.MTEPS(m.n, m.m, d),
+				Speedup: metrics.Speedup(m.serial, d)}
+			if r.name == "apgre" {
+				rec.Breakdown = breakdownRecord(bd)
+				rec.TraversedArcs = bd.TraversedArcs
+			}
+			c.record(rec)
 		}
 		res = append(res, m)
 	}
@@ -255,11 +300,11 @@ func timings(c config, want map[string]bool) error {
 			Headers: headers,
 		}
 		for _, m := range res {
-			row := []any{m.name, metrics.FormatFloat(metrics.MTEPS(m.n, m.m, m.serial))}
+			row := []any{m.name, metrics.FormatMTEPS(metrics.MTEPS(m.n, m.m, m.serial))}
 			for _, r := range rs {
 				if c.keepAlgo(r.name) {
 					row = append(row, cell(m, r.name, func(m meas, d time.Duration) string {
-						return metrics.FormatFloat(metrics.MTEPS(m.n, m.m, d))
+						return metrics.FormatMTEPS(metrics.MTEPS(m.n, m.m, d))
 					}))
 				}
 			}
@@ -279,7 +324,7 @@ func timings(c config, want map[string]bool) error {
 			for _, r := range rs {
 				if c.keepAlgo(r.name) {
 					row = append(row, cell(m, r.name, func(m meas, d time.Duration) string {
-						return fmt.Sprintf("%.2fx", metrics.Speedup(m.serial, d))
+						return metrics.FormatSpeedup(metrics.Speedup(m.serial, d))
 					}))
 				}
 			}
@@ -300,10 +345,15 @@ func figure8(c config) error {
 	for _, ds := range c.selected() {
 		g := ds.Build(c.scale)
 		var bd core.Breakdown
+		start := time.Now()
 		if _, err := core.Compute(g, core.Options{Workers: c.workers,
 			Threshold: c.threshold, Breakdown: &bd}); err != nil {
 			return err
 		}
+		c.record(metrics.Record{Experiment: "figure8", Graph: ds.Name,
+			Algorithm: "apgre", Workers: c.workers,
+			Verts: g.NumVertices(), Edges: g.NumEdges(), Wall: time.Since(start),
+			TraversedArcs: bd.TraversedArcs, Breakdown: breakdownRecord(bd)})
 		extra := float64(bd.Partition+bd.AlphaBeta) / float64(bd.Total)
 		t.AddRow(ds.Name, bd.Partition, bd.AlphaBeta, bd.TopBC, bd.RestBC,
 			metrics.Percent(extra), bd.Total)
@@ -330,12 +380,26 @@ func figure9(c config) error {
 		}
 		row := []any{r.name}
 		for _, w := range sweep {
+			var bd core.Breakdown
 			start := time.Now()
-			if _, err := r.run(g, w, c.threshold); err != nil {
+			if _, err := r.run(g, w, c.threshold, &bd); err != nil {
 				row = append(row, "-")
+				c.record(metrics.Record{Experiment: "figure9", Graph: ds.Name,
+					Algorithm: r.name, Workers: w, Verts: g.NumVertices(),
+					Edges: g.NumEdges(), Unsupported: true})
 				continue
 			}
-			row = append(row, metrics.FormatDuration(time.Since(start)))
+			d := time.Since(start)
+			rec := metrics.Record{Experiment: "figure9", Graph: ds.Name,
+				Algorithm: r.name, Workers: w, Verts: g.NumVertices(),
+				Edges: g.NumEdges(), Wall: d,
+				MTEPS: metrics.MTEPS(g.NumVertices(), g.NumEdges(), d)}
+			if r.name == "apgre" {
+				rec.Breakdown = breakdownRecord(bd)
+				rec.TraversedArcs = bd.TraversedArcs
+			}
+			c.record(rec)
+			row = append(row, metrics.FormatDuration(d))
 		}
 		t.AddRow(row...)
 	}
@@ -361,11 +425,19 @@ func figure10(c config) error {
 		g := ds.Build(c.scale)
 		row := []any{name}
 		for _, w := range sweep {
+			var bd core.Breakdown
 			start := time.Now()
-			if _, err := core.Compute(g, core.Options{Workers: w, Threshold: c.threshold}); err != nil {
+			if _, err := core.Compute(g, core.Options{Workers: w,
+				Threshold: c.threshold, Breakdown: &bd}); err != nil {
 				return err
 			}
-			row = append(row, metrics.FormatDuration(time.Since(start)))
+			d := time.Since(start)
+			c.record(metrics.Record{Experiment: "figure10", Graph: name,
+				Algorithm: "apgre", Workers: w, Verts: g.NumVertices(),
+				Edges: g.NumEdges(), Wall: d,
+				MTEPS:         metrics.MTEPS(g.NumVertices(), g.NumEdges(), d),
+				TraversedArcs: bd.TraversedArcs, Breakdown: breakdownRecord(bd)})
+			row = append(row, metrics.FormatDuration(d))
 		}
 		t.AddRow(row...)
 	}

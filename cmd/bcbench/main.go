@@ -16,6 +16,19 @@
 // -scale multiplies dataset sizes (default 0.25 keeps a full -all run in
 // minutes); -datasets and -algos filter; -workers sets the thread count for
 // the fixed-thread tables (default GOMAXPROCS).
+//
+// Machine-readable records and the regression gate:
+//
+//	bcbench -all -json .                        # also write BENCH_<stamp>.json
+//	bcbench -check old.json new.json            # exit 1 on perf regressions
+//	bcbench -check -tolerance 25 old.json new.json
+//
+// -json writes every timing result as a structured record (see
+// internal/metrics.Document); -check compares two such documents and exits
+// non-zero when wall time or traversed arcs grew beyond -tolerance percent.
+//
+// Profiling: -cpuprofile, -memprofile and -trace write the standard pprof/
+// trace artifacts for the whole run.
 package main
 
 import (
@@ -24,21 +37,40 @@ import (
 	"os"
 	"runtime"
 	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate paper Table N (1-4)")
-		figure   = flag.Int("figure", 0, "regenerate paper Figure N (2, 6-10)")
-		all      = flag.Bool("all", false, "run every table and figure")
-		scale    = flag.Float64("scale", 0.25, "dataset size multiplier")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for fixed-thread experiments")
-		datasets = flag.String("datasets", "", "comma-separated dataset filter (default all)")
-		algos    = flag.String("algos", "", "comma-separated algorithm filter (default all)")
-		thresh   = flag.Int("threshold", 0, "APGRE decomposition threshold (0 = default)")
-		ext      = flag.Bool("ext", false, "run the extension experiments (weighted, closeness, incremental)")
+		table      = flag.Int("table", 0, "regenerate paper Table N (1-4)")
+		figure     = flag.Int("figure", 0, "regenerate paper Figure N (2, 6-10)")
+		all        = flag.Bool("all", false, "run every table and figure")
+		scale      = flag.Float64("scale", 0.25, "dataset size multiplier")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for fixed-thread experiments")
+		datasets   = flag.String("datasets", "", "comma-separated dataset filter (default all)")
+		algos      = flag.String("algos", "", "comma-separated algorithm filter (default all)")
+		thresh     = flag.Int("threshold", 0, "APGRE decomposition threshold (0 = default)")
+		ext        = flag.Bool("ext", false, "run the extension experiments (weighted, closeness, incremental)")
+		jsonOut    = flag.String("json", "", "write a machine-readable BENCH_<stamp>.json to this file or directory")
+		check      = flag.Bool("check", false, "compare two BENCH_*.json files (old new) and fail on regressions")
+		tolerance  = flag.Float64("tolerance", 10, "allowed wall-time / traversed-arc growth for -check, in percent")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(flag.Args(), *tolerance))
+	}
+
+	prof, err := profiling.Start(*cpuprofile, *memprofile, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := config{
 		scale:     *scale,
@@ -47,11 +79,18 @@ func main() {
 		datasets:  splitCSV(*datasets),
 		algos:     splitCSV(*algos),
 	}
+	if *jsonOut != "" {
+		cfg.rec = metrics.NewRecorder(*scale, *workers)
+	}
 
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "bcbench: %s: %v\n", name, err)
+		prof.Stop()
+		os.Exit(1)
+	}
 	run := func(name string, fn func(config) error) {
 		if err := fn(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "bcbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(name, err)
 		}
 		fmt.Println()
 	}
@@ -100,9 +139,57 @@ func main() {
 		ran = true
 	}
 	if !ran {
+		prof.Stop()
 		flag.Usage()
 		os.Exit(2)
 	}
+	if cfg.rec != nil {
+		if cfg.rec.Len() == 0 {
+			fmt.Fprintln(os.Stderr, "bcbench: -json set but the selected experiments produced no timing records")
+		} else if path, err := cfg.rec.WriteFile(*jsonOut); err != nil {
+			fail("json", err)
+		} else {
+			fmt.Printf("wrote %d benchmark records to %s\n", cfg.rec.Len(), path)
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "bcbench: profiling: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runCheck implements the regression gate: load old and new record documents,
+// diff them, and report. Returns the process exit code (0 clean, 1 regressed,
+// 2 usage/IO error).
+func runCheck(args []string, tolerancePct float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "bcbench: -check needs exactly two arguments: old.json new.json")
+		return 2
+	}
+	oldDoc, err := metrics.ReadDocument(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbench: %v\n", err)
+		return 2
+	}
+	newDoc, err := metrics.ReadDocument(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcbench: %v\n", err)
+		return 2
+	}
+	regs, missing := metrics.Compare(oldDoc, newDoc, tolerancePct)
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "bcbench: warning: record coverage changed: %s\n", m)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "bcbench: %d regression(s) beyond %.1f%% tolerance:\n", len(regs), tolerancePct)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("bcbench: no regressions (%d records compared, tolerance %.1f%%)\n",
+		len(oldDoc.Records), tolerancePct)
+	return 0
 }
 
 func splitCSV(s string) map[string]bool {

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// runTinyTimings runs the Tables 2–3 sweep on the two tiny test datasets with
+// recording enabled and returns the artifact path.
+func runTinyTimings(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	c.rec = metrics.NewRecorder(c.scale, c.workers)
+	if err := timings(c, map[string]bool{"t2": true, "t3": true}); err != nil {
+		t.Fatal(err)
+	}
+	path, err := c.rec.WriteFile(filepath.Join(t.TempDir(), "bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func keysOf(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestJSONGoldenSchema pins the BENCH_*.json layout: the exact top-level
+// keys, the exact keys of a measured record, and the exact breakdown keys.
+// If this test fails, bump metrics.SchemaVersion and update the docs —
+// downstream tooling parses these artifacts.
+func TestJSONGoldenSchema(t *testing.T) {
+	data, err := os.ReadFile(runTinyTimings(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	wantDoc := []string{"created_at", "go_version", "goarch", "goos",
+		"max_procs", "records", "scale", "schema", "workers"}
+	if got := keysOf(doc); !equalStrings(got, wantDoc) {
+		t.Fatalf("document keys = %v, want %v", got, wantDoc)
+	}
+	if doc["schema"].(float64) != float64(metrics.SchemaVersion) {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+
+	records := doc["records"].([]any)
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+	wantRec := []string{"algorithm", "edges", "experiment", "graph", "mteps",
+		"scale", "speedup_vs_serial", "verts", "wall_ns", "workers"}
+	wantBD := []string{"alpha_beta_ns", "articulations", "partition_ns",
+		"rest_bc_ns", "roots", "subgraphs", "top_bc_ns", "total_ns",
+		"traversed_arcs"}
+	var sawAPGRE bool
+	for _, raw := range records {
+		rec := raw.(map[string]any)
+		got := keysOf(rec)
+		switch rec["algorithm"] {
+		case "apgre":
+			sawAPGRE = true
+			want := append([]string{"breakdown", "traversed_arcs"}, wantRec...)
+			sort.Strings(want)
+			if !equalStrings(got, want) {
+				t.Fatalf("apgre record keys = %v, want %v", got, want)
+			}
+			bd := rec["breakdown"].(map[string]any)
+			if gotBD := keysOf(bd); !equalStrings(gotBD, wantBD) {
+				t.Fatalf("breakdown keys = %v, want %v", gotBD, wantBD)
+			}
+		case "serial":
+			if !equalStrings(got, wantRec) {
+				t.Fatalf("serial record keys = %v, want %v", got, wantRec)
+			}
+		}
+	}
+	if !sawAPGRE {
+		t.Fatal("no apgre record emitted")
+	}
+}
+
+// TestJSONRecordsCoverTables pins the acceptance bar: one record per
+// (graph, algorithm) cell of Tables 2–3 including the serial baseline, and
+// the APGRE records carry a non-zero Breakdown.Total.
+func TestJSONRecordsCoverTables(t *testing.T) {
+	doc, err := metrics.ReadDocument(runTinyTimings(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]metrics.Record{}
+	for _, rec := range doc.Records {
+		byKey[rec.Graph+"/"+rec.Algorithm] = rec
+	}
+	algos := []string{"serial", "apgre", "preds", "succs", "lockSyncFree", "async", "hybrid"}
+	for _, graph := range []string{"email-enron", "usa-roadny"} {
+		for _, algo := range algos {
+			rec, ok := byKey[graph+"/"+algo]
+			if !ok {
+				t.Fatalf("missing record for %s/%s", graph, algo)
+			}
+			if rec.Unsupported {
+				continue
+			}
+			if rec.Wall <= 0 {
+				t.Errorf("%s/%s: non-positive wall time %v", graph, algo, rec.Wall)
+			}
+			if algo == "apgre" {
+				if rec.Breakdown == nil || rec.Breakdown.Total <= 0 {
+					t.Errorf("%s/apgre: missing or zero Breakdown.Total: %+v", graph, rec.Breakdown)
+				}
+				if rec.Breakdown != nil && rec.Breakdown.Total !=
+					rec.Breakdown.Partition+rec.Breakdown.AlphaBeta+rec.Breakdown.TopBC+rec.Breakdown.RestBC {
+					t.Errorf("%s/apgre: Total != phase sum: %+v", graph, rec.Breakdown)
+				}
+			}
+		}
+	}
+}
+
+// TestRunCheck drives the regression gate end-to-end: identical documents
+// exit 0, a doctored wall-time regression exits 1, bad usage exits 2.
+func TestRunCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doctor func(*metrics.Record)) string {
+		rec := metrics.NewRecorder(0.05, 1)
+		r := metrics.Record{Experiment: "tables2-3", Graph: "email-enron",
+			Algorithm: "apgre", Workers: 1, Scale: 0.05, Verts: 100, Edges: 400,
+			Wall: 20 * time.Millisecond, MTEPS: 2, Speedup: 1.5,
+			TraversedArcs: 5000}
+		if doctor != nil {
+			doctor(&r)
+		}
+		rec.Add(r)
+		path, err := rec.WriteFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("old.json", nil)
+	same := write("same.json", nil)
+	slow := write("slow.json", func(r *metrics.Record) { r.Wall *= 2 })
+	work := write("work.json", func(r *metrics.Record) { r.TraversedArcs *= 3 })
+
+	if code := runCheck([]string{base, same}, 10); code != 0 {
+		t.Fatalf("identical docs: exit %d, want 0", code)
+	}
+	if code := runCheck([]string{base, slow}, 10); code != 1 {
+		t.Fatalf("doctored wall time: exit %d, want 1", code)
+	}
+	if code := runCheck([]string{base, work}, 10); code != 1 {
+		t.Fatalf("doctored traversed arcs: exit %d, want 1", code)
+	}
+	if code := runCheck([]string{base}, 10); code != 2 {
+		t.Fatalf("one arg: exit %d, want 2", code)
+	}
+	if code := runCheck([]string{base, filepath.Join(dir, "absent.json")}, 10); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -101,21 +101,22 @@ func Compute(g *graph.Graph, opt Options) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	bc, err := ComputeDecomposed(d, opt)
-	if err != nil {
-		return nil, err
-	}
 	if opt.Breakdown != nil {
+		// Populate the preprocessing phases before the BC phase so
+		// computeSplit folds them into Total (Figure 8's full sum).
 		opt.Breakdown.Partition = tm.Partition
 		opt.Breakdown.AlphaBeta = tm.AlphaBeta
-		opt.Breakdown.Total = tm.Partition + tm.AlphaBeta + opt.Breakdown.TopBC + opt.Breakdown.RestBC
 	}
-	return bc, nil
+	return ComputeDecomposed(d, opt)
 }
 
 // ComputeDecomposed runs the BC phase of APGRE on an existing decomposition.
 // The decomposition must have been built from the same graph with compatible
 // options (in particular, DisableGamma must match the decomposition's roots).
+// When opt.Breakdown is set, Total is always populated: it sums the BC phases
+// plus whatever Partition/AlphaBeta values the caller pre-populated (Compute
+// fills them from the decomposition timings; direct callers that did not time
+// their own decomposition get Total = TopBC + RestBC).
 func ComputeDecomposed(d *decompose.Decomposition, opt Options) ([]float64, error) {
 	g := d.G
 	n := g.NumVertices()
@@ -167,28 +168,39 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 	// phase split is kept so Figure 8's top/rest attribution stays correct).
 	startA := time.Now()
 	var serialBig *serialState
+	var fineBig *fineState
 	for _, sg := range big {
+		n := sg.NumVerts()
 		if p == 1 {
 			if serialBig == nil {
 				serialBig = &serialState{}
 			}
-			serialBig.ensure(sg.NumVerts())
+			serialBig.ensure(n)
 			for _, s := range sg.Roots {
 				serialBig.runRoot(sg, s, directed)
 			}
 			flushLocal(bc, sg, serialBig.bcLocal)
-			for l := range serialBig.bcLocal[:sg.NumVerts()] {
+			for l := range serialBig.bcLocal[:n] {
 				serialBig.bcLocal[l] = 0
 			}
 			traversed += serialBig.traversed
 			serialBig.traversed = 0
 		} else {
-			st := newFineState(sg, p)
-			for _, s := range sg.Roots {
-				st.runRoot(sg, s, directed)
+			// One fine state serves every large sub-graph; ensure grows it
+			// and the post-flush zeroing keeps it clean for the next one.
+			if fineBig == nil {
+				fineBig = newFineState(p)
 			}
-			flushLocal(bc, sg, st.bcLocal)
-			traversed += st.traversed
+			fineBig.ensure(n)
+			for _, s := range sg.Roots {
+				fineBig.runRoot(sg, s, directed)
+			}
+			flushLocal(bc, sg, fineBig.bcLocal)
+			for l := range fineBig.bcLocal[:n] {
+				fineBig.bcLocal[l] = 0
+			}
+			traversed += fineBig.traversed
+			fineBig.traversed = 0
 		}
 		roots += int64(len(sg.Roots))
 	}
@@ -220,12 +232,17 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 	restDur := time.Since(startB)
 
 	if opt.Breakdown != nil {
-		opt.Breakdown.TopBC = topDur
-		opt.Breakdown.RestBC = restDur
-		opt.Breakdown.TraversedArcs = traversed
-		opt.Breakdown.Roots = roots
-		opt.Breakdown.Subgraphs = len(d.Subgraphs)
-		opt.Breakdown.Articulations = d.NumArticulation
+		bd := opt.Breakdown
+		bd.TopBC = topDur
+		bd.RestBC = restDur
+		// Total always covers the BC phases; Partition/AlphaBeta are folded
+		// in when the caller (Compute, or a direct ComputeDecomposed user
+		// that timed its own decomposition) pre-populated them.
+		bd.Total = bd.Partition + bd.AlphaBeta + topDur + restDur
+		bd.TraversedArcs = traversed
+		bd.Roots = roots
+		bd.Subgraphs = len(d.Subgraphs)
+		bd.Articulations = d.NumArticulation
 	}
 	return bc, nil
 }

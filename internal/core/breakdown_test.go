@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/gen"
+)
+
+func breakdownGraph() *gen.SocialParams {
+	return &gen.SocialParams{N: 1200, AvgDeg: 6, Communities: 12,
+		TopShare: 0.45, LeafFrac: 0.35, Seed: 42}
+}
+
+// TestBreakdownTotalCompute pins Figure 8's invariant on the full pipeline:
+// Total is exactly the sum of the four phases and is never the zero value.
+func TestBreakdownTotalCompute(t *testing.T) {
+	g := gen.SocialLike(*breakdownGraph())
+	for _, workers := range []int{1, 4} {
+		var bd Breakdown
+		if _, err := Compute(g, Options{Workers: workers, Breakdown: &bd}); err != nil {
+			t.Fatal(err)
+		}
+		if bd.Total <= 0 {
+			t.Fatalf("workers=%d: Breakdown.Total = %v, want > 0", workers, bd.Total)
+		}
+		if sum := bd.Partition + bd.AlphaBeta + bd.TopBC + bd.RestBC; bd.Total != sum {
+			t.Fatalf("workers=%d: Total %v != phase sum %v", workers, bd.Total, sum)
+		}
+	}
+}
+
+// TestBreakdownTotalComputeDecomposed covers the direct-caller path (used by
+// the incremental engine and the integration suite): ComputeDecomposed must
+// populate Total itself instead of leaving the caller's zero in place.
+func TestBreakdownTotalComputeDecomposed(t *testing.T) {
+	g := gen.SocialLike(*breakdownGraph())
+	d, err := decompose.Decompose(g, decompose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var bd Breakdown
+		if _, err := ComputeDecomposed(d, Options{Workers: workers, Breakdown: &bd}); err != nil {
+			t.Fatal(err)
+		}
+		if bd.Total <= 0 {
+			t.Fatalf("workers=%d: Breakdown.Total = %v, want > 0", workers, bd.Total)
+		}
+		if sum := bd.Partition + bd.AlphaBeta + bd.TopBC + bd.RestBC; bd.Total != sum {
+			t.Fatalf("workers=%d: Total %v != phase sum %v", workers, bd.Total, sum)
+		}
+		// Direct callers did not time a decomposition, so the preprocessing
+		// phases stay zero and Total is exactly the BC phases.
+		if bd.Partition != 0 || bd.AlphaBeta != 0 {
+			t.Fatalf("workers=%d: unexpected preprocessing timings %v/%v",
+				workers, bd.Partition, bd.AlphaBeta)
+		}
+	}
+}
+
+// TestFineStateReuse forces every sub-graph — large and small alike — through
+// the shared fine-grained state (StrategyFineOnly, several workers) and
+// checks the scores still match textbook Brandes, guarding the ensure-style
+// reset that lets one fineState serve sub-graphs of different sizes.
+func TestFineStateReuse(t *testing.T) {
+	params := *breakdownGraph()
+	params.Communities = 20
+	g := gen.SocialLike(params)
+	assertMatchesBrandes(t, g,
+		Options{Workers: 4, Strategy: StrategyFineOnly}, "fine-state reuse")
+
+	// Directed flavour exercises the directed root correction too.
+	params.Directed = true
+	params.Reciprocity = 0.5
+	params.Seed = 43
+	dg := gen.SocialLike(params)
+	assertMatchesBrandes(t, dg,
+		Options{Workers: 4, Strategy: StrategyFineOnly}, "fine-state reuse directed")
+}

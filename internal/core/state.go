@@ -143,6 +143,7 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 // paper's Algorithm 2 phase structure.
 type fineState struct {
 	p         int
+	alloc     int // allocated length of the per-vertex slices below
 	dist      []int32
 	sigma     []float64
 	di2i      []float64
@@ -155,23 +156,29 @@ type fineState struct {
 	traversed int64
 }
 
-func newFineState(sg *decompose.Subgraph, p int) *fineState {
-	n := sg.NumVerts()
-	st := &fineState{
-		p:       p,
-		dist:    make([]int32, n),
-		sigma:   make([]float64, n),
-		di2i:    make([]float64, n),
-		di2o:    make([]float64, n),
-		do2o:    make([]float64, n),
-		visited: bitset.New(n),
-		bag:     par.NewBag[int32](p),
-		bcLocal: make([]float64, n),
+func newFineState(p int) *fineState {
+	return &fineState{p: p, bag: par.NewBag[int32](p)}
+}
+
+// ensure sizes the scratch for a sub-graph of n local vertices. Like
+// serialState.ensure it preserves the "dist == -1 everywhere" invariant
+// (runRoot's sparse resets maintain it across roots and sub-graphs), so a
+// single fineState can serve every large sub-graph without reallocating.
+func (st *fineState) ensure(n int) {
+	if st.alloc >= n {
+		return
 	}
+	st.alloc = n
+	st.dist = make([]int32, n)
 	for i := range st.dist {
 		st.dist[i] = -1
 	}
-	return st
+	st.sigma = make([]float64, n)
+	st.di2i = make([]float64, n)
+	st.di2o = make([]float64, n)
+	st.do2o = make([]float64, n)
+	st.visited = bitset.New(n)
+	st.bcLocal = make([]float64, n)
 }
 
 func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {

@@ -129,3 +129,22 @@ func FormatDuration(d time.Duration) string {
 
 // Percent renders a fraction as a percentage.
 func Percent(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// FormatMTEPS renders a search rate for the tables. TEPS/MTEPS return the
+// sentinel 0 for non-positive durations (a sub-resolution timer or a missing
+// measurement), which must not be confused with a real rate — render n/a.
+func FormatMTEPS(v float64) string {
+	if v <= 0 {
+		return "n/a"
+	}
+	return FormatFloat(v)
+}
+
+// FormatSpeedup renders a speedup ratio; 0 is Speedup's sentinel for an
+// unmeasurable denominator, rendered n/a rather than "0.00x".
+func FormatSpeedup(v float64) string {
+	if v <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", v)
+}

@@ -68,3 +68,23 @@ func TestFormats(t *testing.T) {
 		t.Fatalf("Percent = %q", got)
 	}
 }
+
+// TestSentinelRendering pins that the 0 sentinels TEPS/Speedup return for
+// non-positive durations render as n/a, not as a real measurement.
+func TestSentinelRendering(t *testing.T) {
+	if got := FormatMTEPS(MTEPS(10, 10, 0)); got != "n/a" {
+		t.Fatalf("zero-duration MTEPS rendered %q, want n/a", got)
+	}
+	if got := FormatMTEPS(MTEPS(10, 10, -time.Second)); got != "n/a" {
+		t.Fatalf("negative-duration MTEPS rendered %q, want n/a", got)
+	}
+	if got := FormatMTEPS(123.456); got != "123.5" {
+		t.Fatalf("real MTEPS rendered %q", got)
+	}
+	if got := FormatSpeedup(Speedup(time.Second, 0)); got != "n/a" {
+		t.Fatalf("zero-duration speedup rendered %q, want n/a", got)
+	}
+	if got := FormatSpeedup(2.5); got != "2.50x" {
+		t.Fatalf("real speedup rendered %q", got)
+	}
+}

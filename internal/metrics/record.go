@@ -1,0 +1,243 @@
+package metrics
+
+// Machine-readable benchmark records. Every bcbench timing experiment emits
+// one Record per (experiment, graph, algorithm, workers) cell; the harness
+// bundles them into a Document and writes a BENCH_<stamp>.json artifact that
+// EXPERIMENTS.md numbers can cite and that Compare gates regressions against
+// PR-over-PR. Durations serialize as nanosecond integers (Go's default for
+// time.Duration), so the schema stays trivially parseable from any language.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemaVersion identifies the record layout; bump on breaking changes so
+// Compare can refuse to diff incompatible documents.
+const SchemaVersion = 1
+
+// PhaseBreakdown mirrors core.Breakdown field-for-field (internal/metrics
+// stays dependency-free, so the harness converts rather than imports): the
+// Figure-8 phase timings plus the work counters.
+type PhaseBreakdown struct {
+	Partition     time.Duration `json:"partition_ns"`
+	AlphaBeta     time.Duration `json:"alpha_beta_ns"`
+	TopBC         time.Duration `json:"top_bc_ns"`
+	RestBC        time.Duration `json:"rest_bc_ns"`
+	Total         time.Duration `json:"total_ns"`
+	TraversedArcs int64         `json:"traversed_arcs"`
+	Roots         int64         `json:"roots"`
+	Subgraphs     int           `json:"subgraphs"`
+	Articulations int           `json:"articulations"`
+}
+
+// Record is one measured cell of the paper's evaluation.
+type Record struct {
+	// Experiment names the table/figure the record belongs to
+	// (e.g. "tables2-3", "figure8", "figure9", "ext-weighted").
+	Experiment string `json:"experiment"`
+	Graph      string `json:"graph"`
+	Algorithm  string `json:"algorithm"`
+	Workers    int    `json:"workers"`
+	// Scale is the dataset size multiplier the stand-in was built at.
+	Scale float64 `json:"scale"`
+	Verts int     `json:"verts"`
+	Edges int64   `json:"edges"`
+	Wall  time.Duration `json:"wall_ns"`
+	// MTEPS is n·m/t in millions; 0 is the "not measurable" sentinel
+	// (non-positive duration), rendered n/a by the text tables.
+	MTEPS float64 `json:"mteps"`
+	// Speedup is serial/measured; 0 is the sentinel, 1 marks the serial
+	// baseline itself.
+	Speedup float64 `json:"speedup_vs_serial"`
+	// TraversedArcs duplicates Breakdown.TraversedArcs for algorithms that
+	// report work without a full phase breakdown.
+	TraversedArcs int64           `json:"traversed_arcs,omitempty"`
+	Breakdown     *PhaseBreakdown `json:"breakdown,omitempty"`
+	// Unsupported marks the paper's "-" cells (e.g. async on directed
+	// graphs); such records carry no timing.
+	Unsupported bool `json:"unsupported,omitempty"`
+}
+
+// Key identifies a record for cross-document comparison.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s/%s/%s/p=%d", r.Experiment, r.Graph, r.Algorithm, r.Workers)
+}
+
+// Document is the top-level BENCH_*.json artifact.
+type Document struct {
+	Schema    int       `json:"schema"`
+	CreatedAt time.Time `json:"created_at"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	MaxProcs  int       `json:"max_procs"`
+	Scale     float64   `json:"scale"`
+	Workers   int       `json:"workers"`
+	Records   []Record  `json:"records"`
+}
+
+// Recorder accumulates records across experiments; safe for concurrent Add.
+type Recorder struct {
+	mu  sync.Mutex
+	doc Document
+}
+
+// NewRecorder starts a document stamped with the current toolchain and the
+// harness-wide scale/workers settings.
+func NewRecorder(scale float64, workers int) *Recorder {
+	return &Recorder{doc: Document{
+		Schema:    SchemaVersion,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Scale:     scale,
+		Workers:   workers,
+	}}
+}
+
+// Add appends one record. Nil recorders are inert so call sites need no
+// "is recording enabled" branches.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.doc.Records = append(r.doc.Records, rec)
+}
+
+// Len reports how many records have been added.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.doc.Records)
+}
+
+// Document returns a copy of the accumulated document.
+func (r *Recorder) Document() Document {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	doc := r.doc
+	doc.Records = append([]Record(nil), r.doc.Records...)
+	return doc
+}
+
+// WriteFile writes the document as indented JSON. If path is an existing
+// directory (or ends in a path separator) the file is named
+// BENCH_<UTC stamp>.json inside it; otherwise path is used verbatim. The
+// final path is returned.
+func (r *Recorder) WriteFile(path string) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("metrics: empty record path")
+	}
+	doc := r.Document()
+	if fi, err := os.Stat(path); (err == nil && fi.IsDir()) || os.IsPathSeparator(path[len(path)-1]) {
+		stamp := doc.CreatedAt.Format("20060102T150405Z")
+		path = filepath.Join(path, fmt.Sprintf("BENCH_%s.json", stamp))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadDocument loads a BENCH_*.json artifact.
+func ReadDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this build reads %d", path, doc.Schema, SchemaVersion)
+	}
+	return &doc, nil
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Key string // Record.Key of the offending measurement
+	// Field is "wall_ns" or "traversed_arcs".
+	Field    string
+	Old, New float64
+	// Pct is the relative growth in percent ((new-old)/old·100).
+	Pct float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (+%.1f%%)", r.Key, r.Field, r.Old, r.New, r.Pct)
+}
+
+// Compare diffs two documents record-by-record and returns the regressions:
+// wall time or traversed arcs that grew by more than tolerancePct percent.
+// Records missing from either side are returned in missing (informational —
+// coverage changes are not regressions, but silent disappearance of a
+// measurement should be visible). Sentinel (zero/unsupported) measurements
+// never regress.
+func Compare(old, new *Document, tolerancePct float64) (regs []Regression, missing []string) {
+	idx := make(map[string]Record, len(new.Records))
+	for _, rec := range new.Records {
+		idx[rec.Key()] = rec
+	}
+	seen := make(map[string]bool, len(old.Records))
+	for _, o := range old.Records {
+		key := o.Key()
+		seen[key] = true
+		n, ok := idx[key]
+		if !ok {
+			missing = append(missing, key+" (only in old)")
+			continue
+		}
+		if o.Unsupported || n.Unsupported {
+			continue
+		}
+		if reg, bad := regressed(key, "wall_ns", float64(o.Wall), float64(n.Wall), tolerancePct); bad {
+			regs = append(regs, reg)
+		}
+		oArcs, nArcs := arcsOf(o), arcsOf(n)
+		if reg, bad := regressed(key, "traversed_arcs", float64(oArcs), float64(nArcs), tolerancePct); bad {
+			regs = append(regs, reg)
+		}
+	}
+	for _, n := range new.Records {
+		if !seen[n.Key()] {
+			missing = append(missing, n.Key()+" (only in new)")
+		}
+	}
+	sort.Strings(missing)
+	return regs, missing
+}
+
+func arcsOf(r Record) int64 {
+	if r.Breakdown != nil && r.Breakdown.TraversedArcs > 0 {
+		return r.Breakdown.TraversedArcs
+	}
+	return r.TraversedArcs
+}
+
+func regressed(key, field string, old, new, tolerancePct float64) (Regression, bool) {
+	if old <= 0 || new <= old {
+		return Regression{}, false
+	}
+	pct := 100 * (new - old) / old
+	if pct <= tolerancePct {
+		return Regression{}, false
+	}
+	return Regression{Key: key, Field: field, Old: old, New: new, Pct: pct}, true
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Experiment: "tables2-3",
+		Graph:      "email-enron",
+		Algorithm:  "apgre",
+		Workers:    4,
+		Scale:      0.25,
+		Verts:      600,
+		Edges:      4200,
+		Wall:       125 * time.Millisecond,
+		MTEPS:      20.16,
+		Speedup:    3.4,
+		Breakdown: &PhaseBreakdown{
+			Partition:     5 * time.Millisecond,
+			AlphaBeta:     3 * time.Millisecond,
+			TopBC:         100 * time.Millisecond,
+			RestBC:        17 * time.Millisecond,
+			Total:         125 * time.Millisecond,
+			TraversedArcs: 90000,
+			Roots:         410,
+			Subgraphs:     12,
+			Articulations: 40,
+		},
+	}
+}
+
+// TestRecordRoundTrip: encode → decode → equal, through an on-disk document.
+func TestRecordRoundTrip(t *testing.T) {
+	rec := NewRecorder(0.25, 4)
+	rec.Add(sampleRecord())
+	serial := sampleRecord()
+	serial.Algorithm = "serial"
+	serial.Speedup = 1
+	serial.Breakdown = nil
+	rec.Add(serial)
+
+	path, err := rec.WriteFile(filepath.Join(t.TempDir(), "bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDocument(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Document()
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", *got, want)
+	}
+	if got.Schema != SchemaVersion || got.GoVersion == "" || got.CreatedAt.IsZero() {
+		t.Fatalf("document header incomplete: %+v", got)
+	}
+}
+
+// TestWriteFileDirectory: a directory path yields a BENCH_<stamp>.json name.
+func TestWriteFileDirectory(t *testing.T) {
+	rec := NewRecorder(1, 1)
+	rec.Add(sampleRecord())
+	dir := t.TempDir()
+	path, err := rec.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "BENCH_") || !strings.HasSuffix(base, ".json") {
+		t.Fatalf("unexpected artifact name %q", base)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("artifact %q not inside %q", path, dir)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDocumentRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDocument(path); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+}
+
+func compareDocs(t *testing.T, mutate func(*Record)) ([]Regression, []string) {
+	t.Helper()
+	old := NewRecorder(0.25, 4)
+	old.Add(sampleRecord())
+	oldDoc := old.Document()
+	newDoc := old.Document()
+	newDoc.Records = append([]Record(nil), newDoc.Records...)
+	if mutate != nil {
+		mutate(&newDoc.Records[0])
+	}
+	return Compare(&oldDoc, &newDoc, 10)
+}
+
+// TestCompare: identical documents carry no regressions; a doctored wall time
+// or traversed-arc count beyond tolerance is flagged; shrinkage never is.
+func TestCompare(t *testing.T) {
+	if regs, missing := compareDocs(t, nil); len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("identical docs: regs=%v missing=%v", regs, missing)
+	}
+	regs, _ := compareDocs(t, func(r *Record) { r.Wall = r.Wall * 3 / 2 })
+	if len(regs) != 1 || regs[0].Field != "wall_ns" {
+		t.Fatalf("wall regression not caught: %v", regs)
+	}
+	if regs[0].Pct < 49 || regs[0].Pct > 51 {
+		t.Fatalf("wrong pct: %v", regs[0])
+	}
+	regs, _ = compareDocs(t, func(r *Record) {
+		bd := *r.Breakdown
+		bd.TraversedArcs *= 2
+		r.Breakdown = &bd
+	})
+	if len(regs) != 1 || regs[0].Field != "traversed_arcs" {
+		t.Fatalf("arc regression not caught: %v", regs)
+	}
+	// Within tolerance (10%): no regression.
+	if regs, _ := compareDocs(t, func(r *Record) { r.Wall += r.Wall / 20 }); len(regs) != 0 {
+		t.Fatalf("5%% growth flagged at 10%% tolerance: %v", regs)
+	}
+	// Faster is never a regression.
+	if regs, _ := compareDocs(t, func(r *Record) { r.Wall /= 2 }); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	// Unsupported cells are exempt.
+	if regs, _ := compareDocs(t, func(r *Record) { r.Wall *= 10; r.Unsupported = true }); len(regs) != 0 {
+		t.Fatalf("unsupported cell flagged: %v", regs)
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	old := NewRecorder(0.25, 4)
+	old.Add(sampleRecord())
+	extra := sampleRecord()
+	extra.Graph = "usa-roadny"
+	old.Add(extra)
+	oldDoc := old.Document()
+
+	newRec := NewRecorder(0.25, 4)
+	newRec.Add(sampleRecord())
+	newDoc := newRec.Document()
+
+	regs, missing := Compare(&oldDoc, &newDoc, 10)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(missing) != 1 || !strings.Contains(missing[0], "usa-roadny") {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+// TestNilRecorder: a nil recorder is inert, so call sites don't branch.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Add(sampleRecord())
+	if r.Len() != 0 {
+		t.Fatal("nil recorder must report 0 records")
+	}
+}

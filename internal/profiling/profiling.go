@@ -1,0 +1,84 @@
+// Package profiling wires the standard pprof/trace collectors behind the
+// -cpuprofile/-memprofile/-trace flags shared by cmd/bc and cmd/bcbench, so
+// hot-path work can be profiled without per-command boilerplate.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Session holds the collectors started by Start; Stop finalizes them.
+type Session struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// Start begins CPU profiling and execution tracing for every non-empty path
+// and remembers where to write the heap profile at Stop. Empty paths are
+// skipped, so callers pass flag values through unconditionally.
+func Start(cpuPath, memPath, tracePath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			s.Stop()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.Stop()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	return s, nil
+}
+
+// Stop flushes every active collector; the first error wins but all
+// collectors are still torn down.
+func (s *Session) Stop() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // get up-to-date allocation statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		s.memPath = ""
+	}
+	return first
+}
