@@ -1,18 +1,31 @@
 #!/usr/bin/env sh
 # ci.sh — the repository's verification gauntlet:
-#   1. tier-1: go build ./... && go test ./...
-#   2. race pass over the parallel hot paths (core, par, brandes)
-#   3. bcbench -json smoke run on the smallest dataset, then the regression
+#   1. hygiene: gofmt -l must be clean, go vet ./... must pass
+#   2. tier-1: go build ./... && go test ./...
+#   3. race pass over the parallel hot paths and the serving subsystem
+#      (core, par, brandes, server)
+#   4. bcbench -json smoke run on the smallest dataset, then the regression
 #      gate self-compared (identical inputs must exit 0)
 set -eu
 cd "$(dirname "$0")"
+
+echo "==> hygiene: gofmt -l"
+unformatted=$(gofmt -l cmd internal examples)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> hygiene: go vet ./..."
+go vet ./...
 
 echo "==> tier-1: go build ./... && go test ./..."
 go build ./...
 go test ./...
 
-echo "==> race: internal/core internal/par internal/brandes"
-go test -race ./internal/core ./internal/par ./internal/brandes
+echo "==> race: internal/core internal/par internal/brandes internal/server"
+go test -race ./internal/core ./internal/par ./internal/brandes ./internal/server
 
 echo "==> bcbench -json smoke (email-enron, scale 0.05)"
 tmp=$(mktemp -d)

@@ -199,7 +199,9 @@ func runners() []algoRunner {
 		}},
 		{"preds", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Preds(g, w), nil }},
 		{"succs", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Succs(g, w), nil }},
-		{"lockSyncFree", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.LockSyncFree(g, w), nil }},
+		{"lockSyncFree", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) {
+			return brandes.LockSyncFree(g, w), nil
+		}},
 		{"async", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Async(g, w) }},
 		{"hybrid", func(g *graph.Graph, w, _ int, _ *core.Breakdown) ([]float64, error) { return brandes.Hybrid(g, w), nil }},
 	}

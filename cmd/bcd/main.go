@@ -1,0 +1,126 @@
+// Command bcd is the long-running betweenness-centrality daemon: it keeps
+// named graphs loaded with their articulation-point decomposition and BC
+// scores cached, serves queries over a JSON HTTP API, and absorbs edge
+// updates through the incremental engine instead of recomputing from
+// scratch.
+//
+//	bcd -addr :8723
+//	bcd -addr :8723 -preload enron=email-enron:0.05
+//
+// Endpoints (see README "Serving" for curl examples):
+//
+//	POST   /v1/graphs                      load a graph (async)
+//	GET    /v1/graphs                      list
+//	GET    /v1/graphs/{name}               status / info
+//	DELETE /v1/graphs/{name}               unload
+//	GET    /v1/graphs/{name}/bc?top=K      top-K BC scores
+//	GET    /v1/graphs/{name}/vertices/{v}  one vertex
+//	POST   /v1/graphs/{name}/edges         insert edge
+//	DELETE /v1/graphs/{name}/edges         remove edge
+//	GET    /v1/graphs/{name}/stats         articulation-point census
+//	GET    /healthz                        liveness
+//	GET    /metrics                        Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8723", "listen address")
+		workers   = flag.Int("workers", 2, "concurrent graph build jobs")
+		queue     = flag.Int("queue", 16, "build job queue depth")
+		threshold = flag.Int("threshold", 0, "default decomposition threshold (0 = library default)")
+		preload   = flag.String("preload", "", "comma-separated name=dataset[:scale] graphs to load at startup")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "bcd: ", log.LstdFlags)
+	reqLog := logger
+	if *quiet {
+		reqLog = nil
+	}
+
+	reg := server.NewRegistry(server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultThreshold: *threshold,
+	})
+	srv := server.New(reg, reqLog)
+
+	if err := preloadGraphs(reg, *preload); err != nil {
+		logger.Fatalf("preload: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving on %s (workers=%d, queue=%d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight queries up to the
+	// timeout, then abort queued recompute jobs.
+	logger.Printf("shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	reg.Close()
+	logger.Printf("bye")
+}
+
+// preloadGraphs parses "name=dataset[:scale],..." and enqueues the loads.
+func preloadGraphs(reg *server.Registry, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, src, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return fmt.Errorf("bad -preload entry %q (want name=dataset[:scale])", part)
+		}
+		dataset, scaleStr, hasScale := strings.Cut(src, ":")
+		scale := 0.25
+		if hasScale {
+			v, err := strconv.ParseFloat(scaleStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad scale in -preload entry %q: %v", part, err)
+			}
+			scale = v
+		}
+		if _, err := reg.Load(server.LoadSpec{Name: name, Dataset: dataset, Scale: scale}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

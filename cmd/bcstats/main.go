@@ -4,14 +4,19 @@
 //
 //	bcstats -dataset wiki-talk -scale 0.25
 //	bcstats -in graph.txt -directed
+//	bcstats -dataset email-enron -json
+//
+// With -json the census is emitted as the same metrics.GraphCensus document
+// the bcd daemon serves at GET /v1/graphs/{name}/stats, so scripted pipelines
+// can consume either source interchangeably.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/bcc"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/decompose"
@@ -28,6 +33,8 @@ func main() {
 		dataset  = flag.String("dataset", "", "named synthetic dataset instead of a file")
 		scale    = flag.Float64("scale", 0.25, "dataset scale")
 		thresh   = flag.Int("threshold", 0, "decomposition threshold")
+		sample   = flag.Int("sample", 0, "sample this many sources for the redundancy analysis (0 = exact)")
+		asJSON   = flag.Bool("json", false, "emit the census as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -36,44 +43,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bcstats: %v\n", err)
 		os.Exit(1)
 	}
-
-	st := graph.Stats(g)
-	aps, deg1 := bcc.CountArticulationPoints(g)
-	fmt.Printf("graph %s: %v\n", name, g)
-	fmt.Printf("degree: min=%d max=%d mean=%.2f isolated=%d\n",
-		st.MinOut, st.MaxOut, st.MeanOut, st.Isolated)
-	fmt.Printf("articulation points: %d (%.1f%%)\n",
-		aps, 100*float64(aps)/float64(max(1, g.NumVertices())))
-	fmt.Printf("single-edge vertices: %d (%.1f%%), no-in single-out sources: %d\n",
-		deg1, 100*float64(deg1)/float64(max(1, g.NumVertices())), st.Sources)
-	if g.Directed() {
-		_, sccCount := graph.StronglyConnectedComponents(g)
-		fmt.Printf("strongly connected components: %d (largest %d vertices)\n",
-			sccCount, graph.LargestSCCSize(g))
-	}
-
 	d, err := decompose.Decompose(g, decompose.Options{Threshold: *thresh})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bcstats: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\ndecomposition (threshold=%d): %d sub-graphs, %d boundary APs, %d roots of %d vertices\n",
-		*thresh, len(d.Subgraphs), d.NumArticulation, d.TotalRoots(), g.NumVertices())
-	sizes := d.SubgraphSizes()
-	t := &metrics.Table{Title: "largest sub-graphs", Headers: []string{"rank", "verts", "arcs", "V share"}}
-	for i := 0; i < len(sizes) && i < 5; i++ {
-		t.AddRow(i+1, sizes[i].Verts, sizes[i].Arcs,
-			metrics.Percent(float64(sizes[i].Verts)/float64(g.NumVertices())))
-	}
-	t.Render(os.Stdout)
+	c := core.BuildCensus(name, g, d, core.CensusOptions{
+		Threshold:         *thresh,
+		RedundancySampleK: *sample,
+		Seed:              1,
+	})
 
-	rep := core.AnalyzeRedundancy(g, d, 0, 1)
-	method := "exact"
-	if rep.Sampled {
-		method = "sampled"
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c); err != nil {
+			fmt.Fprintf(os.Stderr, "bcstats: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
-	fmt.Printf("\nredundancy (%s): effective=%s partial=%s total=%s\n",
-		method, metrics.Percent(rep.Effective), metrics.Percent(rep.Partial), metrics.Percent(rep.Total))
+	renderText(os.Stdout, g, c)
+}
+
+// renderText prints the human-readable census from the same GraphCensus
+// document -json serializes, so the two outputs cannot drift apart.
+func renderText(w *os.File, g *graph.Graph, c metrics.GraphCensus) {
+	fmt.Fprintf(w, "graph %s: %v\n", c.Graph, g)
+	fmt.Fprintf(w, "degree: min=%d max=%d mean=%.2f isolated=%d\n",
+		c.Degree.Min, c.Degree.Max, c.Degree.Mean, c.Degree.Isolated)
+	fmt.Fprintf(w, "articulation points: %d (%.1f%%)\n",
+		c.ArticulationPoints, 100*float64(c.ArticulationPoints)/float64(max(1, c.Verts)))
+	fmt.Fprintf(w, "single-edge vertices: %d (%.1f%%), no-in single-out sources: %d\n",
+		c.SingleEdgeVertices, 100*float64(c.SingleEdgeVertices)/float64(max(1, c.Verts)), c.Degree.Sources)
+	if c.SCC != nil {
+		fmt.Fprintf(w, "strongly connected components: %d (largest %d vertices)\n",
+			c.SCC.Count, c.SCC.Largest)
+	}
+
+	fmt.Fprintf(w, "\ndecomposition (threshold=%d): %d sub-graphs, %d boundary APs, %d roots of %d vertices\n",
+		c.Decomposition.Threshold, c.Decomposition.Subgraphs,
+		c.Decomposition.BoundaryAPs, c.Decomposition.Roots, c.Verts)
+	t := &metrics.Table{Title: "largest sub-graphs", Headers: []string{"rank", "verts", "arcs", "V share"}}
+	for i, sg := range c.Decomposition.Largest {
+		t.AddRow(i+1, sg.Verts, sg.Arcs, metrics.Percent(sg.VertShare))
+	}
+	t.Render(w)
+
+	if r := c.Redundancy; r != nil {
+		fmt.Fprintf(w, "\nredundancy (%s): effective=%s partial=%s total=%s\n",
+			r.Method, metrics.Percent(r.Effective), metrics.Percent(r.Partial), metrics.Percent(r.Total))
+	}
 }
 
 func load(in, format string, directed bool, dataset string, scale float64) (*graph.Graph, string, error) {

@@ -36,8 +36,17 @@ type Incremental struct {
 	contrib  [][]float64 // per-sub-graph local BC contributions
 	bc       []float64
 
+	// splitSinceRebuild records that an undirected removal may have split a
+	// sub-graph internally since the last full rebuild. While set, insertions
+	// must refresh α/β too: re-adding an edge can reconnect outside regions
+	// that the split had cut off.
+	splitSinceRebuild bool
+
 	// FullRebuilds counts structural fallbacks (for tests and telemetry).
 	FullRebuilds int
+	// LocalUpdates counts mutations absorbed without a rebuild (the
+	// incremental fast path bcd reports on its /metrics endpoint).
+	LocalUpdates int
 }
 
 // NewIncremental decomposes g and computes the initial scores. The Options'
@@ -70,9 +79,15 @@ func (inc *Incremental) BC() []float64 {
 // Graph returns the current graph.
 func (inc *Incremental) Graph() *graph.Graph { return inc.g }
 
+// Decomposition returns the current decomposition. After removals the
+// partition can be conservative (a split block keeps its pre-split
+// sub-graph); callers must treat it as read-only.
+func (inc *Incremental) Decomposition() *decompose.Decomposition { return inc.d }
+
 // rebuild decomposes from scratch and recomputes every contribution.
 func (inc *Incremental) rebuild() error {
 	inc.FullRebuilds++
+	inc.splitSinceRebuild = false
 	inc.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
 	d, err := decompose.Decompose(inc.g, decompose.Options{
 		Threshold:    inc.opt.Threshold,
@@ -191,18 +206,35 @@ func (inc *Incremental) RemoveEdge(u, v graph.V) error {
 
 // applyLocal performs an intra-sub-graph mutation: patch the graph, the
 // sub-graph CSR and its roots, then recompute the affected contributions.
-// For undirected graphs only the mutated sub-graph changes. For directed
-// graphs, reachability between outside regions routes *through* the mutated
-// sub-graph, so other sub-graphs' α/β can shift: refresh all α/β over the
-// kept partition and recompute every sub-graph whose values moved.
+//
+// Other sub-graphs' α/β can shift even though the partition stays valid:
+//
+//   - Directed graphs: reachability between outside regions routes *through*
+//     the mutated sub-graph, so any intra-sub-graph arc change can move α/β
+//     elsewhere.
+//   - Undirected removals: deleting a bridge inside the sub-graph (a
+//     block-splitting removal) can cut a boundary AP of *another* sub-graph
+//     off from the regions it used to reach — e.g. two triangles joined by a
+//     bridge sub-graph: removing the bridge must drop the triangles' α from
+//     3 to 0. Insertions after such a split can reconnect those regions.
+//
+// In all those cases, snapshot α/β, refresh them against the mutated graph
+// (BFS counting — the undirected tree method only sees the partition shape,
+// not internal splits), and recompute every sub-graph whose values moved.
+// The cheap path — undirected mutation with no split possible — recomputes
+// only the mutated sub-graph.
 func (inc *Incremental) applyLocal(si int, add bool, u, v graph.V) error {
 	sg := inc.d.Subgraphs[si]
 	lu, lv := sg.LocalID(u), sg.LocalID(v)
 	if lu < 0 || lv < 0 {
 		return inc.rebuild()
 	}
+	if !add && !inc.directed {
+		inc.splitSinceRebuild = true
+	}
+	refreshAB := inc.directed || !add || inc.splitSinceRebuild
 	var oldAB [][]float64
-	if inc.directed {
+	if refreshAB {
 		oldAB = snapshotAlphaBeta(inc.d)
 	}
 	if err := sg.MutateEdge(add, lu, lv, inc.directed); err != nil {
@@ -211,7 +243,8 @@ func (inc *Incremental) applyLocal(si int, add bool, u, v graph.V) error {
 	inc.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
 	inc.d.SetGraph(inc.g)
 	inc.d.RefreshRoots(si, inc.opt.DisableGamma)
-	if !inc.directed {
+	inc.LocalUpdates++
+	if !refreshAB {
 		return inc.recompute(si)
 	}
 	if err := inc.d.RecomputeAlphaBeta(0); err != nil {

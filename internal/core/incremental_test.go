@@ -141,6 +141,108 @@ func TestIncrementalValidation(t *testing.T) {
 	}
 }
 
+// bridgeWorld builds two triangles joined by a bridge: {0,1,2} - (2,3) -
+// {3,4,5}. With Threshold 1 the decomposition keeps three sub-graphs: the
+// two triangles and the bridge block {2,3}, with boundary APs 2 and 3.
+func bridgeWorld(directed bool) *graph.Graph {
+	edges := []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+		{From: 2, To: 3},
+		{From: 3, To: 4}, {From: 4, To: 5}, {From: 5, To: 3},
+	}
+	if directed {
+		// Make every edge reciprocal so both triangles stay strongly
+		// connected; the decomposition still finds the same blocks.
+		for _, e := range append([]graph.Edge(nil), edges...) {
+			edges = append(edges, graph.Edge{From: e.To, To: e.From})
+		}
+	}
+	return graph.NewFromEdges(6, edges, directed)
+}
+
+// Removing a bridge edge splits its block and disconnects the two triangles.
+// This must stay a local (no-rebuild) update AND stay exact: the triangles'
+// boundary APs lose their entire outside regions, so their α/β must drop to
+// zero even though those sub-graphs were not the ones mutated.
+func TestIncrementalBridgeRemoval(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		name := "undirected"
+		if directed {
+			name = "directed"
+		}
+		t.Run(name, func(t *testing.T) {
+			inc, err := NewIncremental(bridgeWorld(directed), Options{Threshold: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIncMatches(t, inc, "initial")
+			if err := inc.RemoveEdge(2, 3); err != nil {
+				t.Fatal(err)
+			}
+			if inc.FullRebuilds != 0 {
+				t.Fatalf("bridge removal forced %d rebuilds, want 0 (local split)", inc.FullRebuilds)
+			}
+			assertIncMatches(t, inc, "bridge removed")
+			if directed {
+				// The reciprocal arc 3->2 still connects the triangles one
+				// way; drop it too so both cases end fully disconnected.
+				if err := inc.RemoveEdge(3, 2); err != nil {
+					t.Fatal(err)
+				}
+				assertIncMatches(t, inc, "reverse bridge removed")
+			}
+			// The components must no longer see each other: every BC score
+			// counts only triangle-internal paths (zero, in fact).
+			for v, s := range inc.BC() {
+				if s != 0 {
+					t.Fatalf("split triangles have no brokered paths; bc[%d] = %v", v, s)
+				}
+			}
+			// Re-inserting the bridge is intra-sub-graph again and must
+			// restore the regions (the split-aware insertion refresh path).
+			if err := inc.InsertEdge(2, 3); err != nil {
+				t.Fatal(err)
+			}
+			if directed {
+				assertIncMatches(t, inc, "one-way bridge")
+				if err := inc.InsertEdge(3, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if inc.FullRebuilds != 0 {
+				t.Fatalf("bridge re-insertion forced %d rebuilds, want 0", inc.FullRebuilds)
+			}
+			assertIncMatches(t, inc, "bridge restored")
+		})
+	}
+}
+
+// A leaf edge is the degenerate bridge: removing it splits off an isolated
+// vertex while another sub-graph still carries the AP's stale α.
+func TestIncrementalLeafBridgeRemoval(t *testing.T) {
+	// Triangle {0,1,2} plus the leaf edge 2-3, Threshold 1 so the leaf block
+	// stays its own sub-graph and 2 is a boundary AP with α=1 in the triangle.
+	g := graph.NewFromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 2, To: 3},
+	}, false)
+	inc, err := NewIncremental(g, Options{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "initial")
+	if err := inc.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if inc.FullRebuilds != 0 {
+		t.Fatalf("leaf removal forced %d rebuilds, want 0", inc.FullRebuilds)
+	}
+	assertIncMatches(t, inc, "leaf detached")
+	if err := inc.InsertEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	assertIncMatches(t, inc, "leaf reattached")
+}
+
 // Randomized soak: a stream of random insertions and removals, each followed
 // by an exactness check against a fresh Brandes run.
 func TestIncrementalRandomOps(t *testing.T) {

@@ -9,11 +9,13 @@ import (
 
 // Mutation support for incremental BC (internal/core.Incremental): an edge
 // whose endpoints share one sub-graph can be inserted or removed without
-// touching the rest of the decomposition — the boundary articulation points,
-// α and β are all functions of the *outside* regions, which an intra-
-// sub-graph edge never reaches, and shortest paths between sub-graph
-// vertices can never leave the sub-graph either before or after the change.
-// Only the local CSR and the γ/root bookkeeping need refreshing.
+// re-partitioning — shortest paths between sub-graph vertices can never
+// leave the sub-graph either before or after the change, so the partition
+// stays valid (conservatively so after a block-splitting removal). The local
+// CSR and the γ/root bookkeeping always need refreshing; α/β also need a
+// refresh when reachability *through* the sub-graph can carry outside
+// regions (directed graphs, and undirected graphs once a removal may have
+// split a sub-graph internally) — internal/core.applyLocal decides.
 
 // MutateEdge adds (add=true) or removes the local edge between lu and lv,
 // rebuilding the sub-graph's CSR. For undirected decompositions both arc
@@ -96,11 +98,14 @@ func (d *Decomposition) RefreshRoots(si int, disableGamma bool) {
 func (d *Decomposition) SetGraph(g *graph.Graph) { d.G = g }
 
 // RecomputeAlphaBeta refreshes every sub-graph's α/β against the current
-// graph, keeping the partition. Needed after intra-sub-graph arc changes on
-// *directed* graphs: reachability between outside regions routes through the
-// mutated sub-graph, so other sub-graphs' α/β can shift even though the
-// partition itself stays valid. (Undirected α/β are pure region counts and
-// never change under intra-sub-graph edits.)
+// graph, keeping the partition. Needed after intra-sub-graph arc changes
+// whenever reachability through the mutated sub-graph can shift other
+// sub-graphs' counts: always on directed graphs, and on undirected graphs
+// after a removal may have split a sub-graph internally (and after
+// insertions while such a split persists). It always uses the BFS counting
+// method: the undirected tree method reads only the partition shape, which
+// a block-splitting removal silently invalidates, while a blocked BFS walks
+// the actual mutated graph.
 func (d *Decomposition) RecomputeAlphaBeta(workers int) error {
-	return computeAlphaBeta(d, Options{AlphaBeta: AlphaBetaAuto, Workers: workers})
+	return computeAlphaBeta(d, Options{AlphaBeta: AlphaBetaBFS, Workers: workers})
 }

@@ -1,0 +1,75 @@
+package metrics
+
+// GraphCensus is the machine-readable form of the articulation-point census
+// bcstats prints — the Figure 2/Table 4 measurements for one graph. It is the
+// single serialization shared by `bcstats -json` and the bcd daemon's
+// GET /v1/graphs/{name}/stats endpoint (internal/core.BuildCensus fills it),
+// so the CLI and the service can never drift apart. Like Record it is pure
+// data: internal/metrics stays dependency-free.
+
+// CensusSchemaVersion identifies the census layout; bump on breaking changes.
+const CensusSchemaVersion = 1
+
+// DegreeCensus summarizes the degree distribution.
+type DegreeCensus struct {
+	Min      int     `json:"min"`
+	Max      int     `json:"max"`
+	Mean     float64 `json:"mean"`
+	Isolated int     `json:"isolated"`
+	// Sources counts no-in single-out vertices (directed leaf analogue).
+	Sources int `json:"sources"`
+}
+
+// SubgraphCensus is one sub-graph's share of the decomposition (Table 4 row).
+type SubgraphCensus struct {
+	Verts int   `json:"verts"`
+	Arcs  int64 `json:"arcs"`
+	// VertShare is Verts over the graph's vertex count, in [0,1].
+	VertShare float64 `json:"vert_share"`
+}
+
+// DecompositionCensus profiles the articulation-point partition.
+type DecompositionCensus struct {
+	Threshold   int   `json:"threshold"`
+	Subgraphs   int   `json:"subgraphs"`
+	BoundaryAPs int   `json:"boundary_aps"`
+	Roots       int64 `json:"roots"`
+	// Largest lists the biggest sub-graphs by vertex count (at most five —
+	// the shape Table 4 reports).
+	Largest []SubgraphCensus `json:"largest,omitempty"`
+}
+
+// RedundancyCensus reports the Figure 7 redundancy split.
+type RedundancyCensus struct {
+	// Method is "exact" or "sampled".
+	Method    string  `json:"method"`
+	Effective float64 `json:"effective"`
+	Partial   float64 `json:"partial"`
+	Total     float64 `json:"total"`
+}
+
+// SCCCensus profiles strong connectivity (directed graphs only).
+type SCCCensus struct {
+	Count   int `json:"count"`
+	Largest int `json:"largest"`
+}
+
+// GraphCensus bundles everything bcstats measures about one graph.
+type GraphCensus struct {
+	Schema   int    `json:"schema"`
+	Graph    string `json:"graph"`
+	Directed bool   `json:"directed"`
+	Verts    int    `json:"verts"`
+	Edges    int64  `json:"edges"`
+	Arcs     int64  `json:"arcs"`
+
+	Degree DegreeCensus `json:"degree"`
+	// ArticulationPoints counts cut vertices of the (underlying undirected)
+	// graph; SingleEdgeVertices counts degree-1 leaves.
+	ArticulationPoints int        `json:"articulation_points"`
+	SingleEdgeVertices int        `json:"single_edge_vertices"`
+	SCC                *SCCCensus `json:"scc,omitempty"`
+
+	Decomposition DecompositionCensus `json:"decomposition"`
+	Redundancy    *RedundancyCensus   `json:"redundancy,omitempty"`
+}

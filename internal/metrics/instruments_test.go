@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters never decrease
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 0.1, 10, 1) // unsorted + duplicate on purpose
+	if got := h.Bounds(); len(got) != 3 || got[0] != 0.1 || got[1] != 1 || got[2] != 10 {
+		t.Fatalf("bounds = %v, want [0.1 1 10]", got)
+	}
+	for _, v := range []float64{0.1, 0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	buckets, sum, count := h.Snapshot()
+	// Bounds are inclusive upper edges: 0.1 -> bucket 0, 1 -> bucket 1.
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, buckets[i], w, buckets)
+		}
+	}
+	if count != 5 || sum != 103.6 {
+		t.Fatalf("count=%d sum=%v, want 5 and 103.6", count, sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	_, sum, count := h.Snapshot()
+	if count != 8000 || sum != 8000 {
+		t.Fatalf("count=%d sum=%v, want 8000/8000", count, sum)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty bounds")
+		}
+	}()
+	NewHistogram()
+}

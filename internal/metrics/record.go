@@ -46,9 +46,9 @@ type Record struct {
 	Algorithm  string `json:"algorithm"`
 	Workers    int    `json:"workers"`
 	// Scale is the dataset size multiplier the stand-in was built at.
-	Scale float64 `json:"scale"`
-	Verts int     `json:"verts"`
-	Edges int64   `json:"edges"`
+	Scale float64       `json:"scale"`
+	Verts int           `json:"verts"`
+	Edges int64         `json:"edges"`
 	Wall  time.Duration `json:"wall_ns"`
 	// MTEPS is n·m/t in millions; 0 is the "not measurable" sentinel
 	// (non-positive duration), rendered n/a by the text tables.

@@ -141,6 +141,64 @@ func TestQuickForEquivalence(t *testing.T) {
 	}
 }
 
+// TestEmptyRange pins the n == 0 contract for every loop primitive: the
+// callback must never fire, and ForWorker must still report at least one
+// worker because callers size per-worker scratch slices by its return value.
+func TestEmptyRange(t *testing.T) {
+	var calls int32
+	count := func(args ...int) { atomic.AddInt32(&calls, 1) }
+	For(0, 4, func(i int) { count(i) })
+	Dynamic(0, 4, 8, func(i int) { count(i) })
+	Pool(0, 4, func(task int) { count(task) })
+	if calls != 0 {
+		t.Fatalf("empty range invoked the callback %d times", calls)
+	}
+	for _, p := range []int{0, 1, 4} {
+		used := ForWorker(0, p, 0, func(w, i int) { count(w, i) })
+		if used < 1 {
+			t.Fatalf("ForWorker(0, %d) returned %d workers; scratch sizing needs >= 1", p, used)
+		}
+	}
+	if calls != 0 {
+		t.Fatalf("ForWorker on empty range invoked the callback %d times", calls)
+	}
+}
+
+// TestFewerTasksThanWorkers pins n < p: every index runs exactly once and
+// worker ids stay in [0, used).
+func TestFewerTasksThanWorkers(t *testing.T) {
+	const n, p = 3, 16
+	seen := make([]int32, n)
+	Pool(n, p, func(task int) { atomic.AddInt32(&seen[task], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("Pool: task %d ran %d times", i, c)
+		}
+	}
+	seen = make([]int32, n)
+	used := ForWorker(n, p, 0, func(w, i int) {
+		if w < 0 || w >= p {
+			t.Errorf("worker id %d out of range", w)
+		}
+		atomic.AddInt32(&seen[i], 1)
+	})
+	if used < 1 || used > p {
+		t.Fatalf("ForWorker used = %d, want within [1,%d]", used, p)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("ForWorker: index %d ran %d times", i, c)
+		}
+	}
+	seen = make([]int32, n)
+	For(n, p, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("For: index %d ran %d times", i, c)
+		}
+	}
+}
+
 func TestPoolUnevenTasks(t *testing.T) {
 	work := make([]int64, 9)
 	Pool(9, 3, func(task int) {

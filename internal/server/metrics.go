@@ -1,0 +1,69 @@
+package server
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server/promtext"
+)
+
+// Metrics bundles the daemon's Prometheus families. Label cardinality is
+// bounded by construction: routes are mux patterns, never raw paths.
+type Metrics struct {
+	reg *promtext.Registry
+
+	requests    *promtext.CounterVec   // route, method, code
+	latency     *promtext.HistogramVec // route
+	graphs      *promtext.GaugeVec     // (none)
+	incremental *promtext.CounterVec   // result = local | rebuild
+	loads       *promtext.CounterVec   // status = ok | error | canceled
+}
+
+// NewMetrics builds the metric families.
+func NewMetrics() *Metrics {
+	reg := promtext.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+		requests: reg.NewCounter("bcd_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		latency: reg.NewHistogram("bcd_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			metrics.DurationBuckets(), "route"),
+		graphs: reg.NewGauge("bcd_graphs_loaded",
+			"Graphs currently in the ready state."),
+		incremental: reg.NewCounter("bcd_incremental_updates_total",
+			"Edge mutations absorbed, by result: local (intra-sub-graph "+
+				"incremental update) or rebuild (full re-decomposition).",
+			"result"),
+		loads: reg.NewCounter("bcd_load_jobs_total",
+			"Graph build jobs finished, by status.", "status"),
+	}
+	// Pre-register the low-cardinality series so scrapers see zeros instead
+	// of absent series before the first event.
+	m.incremental.With("local")
+	m.incremental.With("rebuild")
+	m.loads.With("ok")
+	m.loads.With("error")
+	m.loads.With("canceled")
+	m.graphs.With()
+	return m
+}
+
+// Hook wires the metrics into a registry's lifecycle callbacks.
+func (m *Metrics) Hook(r *Registry) {
+	r.onLoadDone = func(status string) { m.loads.With(status).Inc() }
+	r.onMutate = func(result string) { m.incremental.With(result).Inc() }
+	r.onCount = func(n int) { m.graphs.With().Set(int64(n)) }
+}
+
+// ObserveRequest records one served request.
+func (m *Metrics) ObserveRequest(route, method string, code int, took time.Duration) {
+	m.requests.With(route, method, strconv.Itoa(code)).Inc()
+	m.latency.With(route).Observe(took.Seconds())
+}
+
+// WriteTo renders the exposition text.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) { return m.reg.WriteTo(w) }

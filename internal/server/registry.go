@@ -1,0 +1,641 @@
+// Package server is the serving subsystem behind the bcd daemon: a Registry
+// of named loaded graphs, each holding the graph, its cached decomposition,
+// current BC scores and a core.Incremental handle behind a per-graph RWMutex,
+// plus the net/http JSON API over it (server.go) and its Prometheus metrics
+// (metrics.go).
+//
+// The decomposition-based structure is what makes serving cheap: biconnected
+// blocks and α/β/γ weights are computed once at load time and reused across
+// every query, and intra-block edge updates flow through core.Incremental
+// instead of recomputing the world.
+package server
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/metrics"
+)
+
+// State is a loaded graph's lifecycle phase.
+type State string
+
+const (
+	// StateLoading means the build job (parse + decompose + initial BC) is
+	// queued or running.
+	StateLoading State = "loading"
+	// StateReady means queries and mutations are being served.
+	StateReady State = "ready"
+	// StateFailed means the build job errored; the entry stays visible so
+	// clients can read the error, and the name can be re-used after Unload.
+	StateFailed State = "failed"
+)
+
+// Config tunes a Registry.
+type Config struct {
+	// Workers bounds how many build/recompute jobs run concurrently
+	// (par.Pool-style: a fixed worker set draining a shared queue).
+	// <= 0 means 2.
+	Workers int
+	// QueueDepth bounds the number of queued build jobs; <= 0 means 16.
+	// Loads beyond it are rejected with an error rather than queued without
+	// bound.
+	QueueDepth int
+	// DefaultThreshold is the decomposition threshold used when a LoadSpec
+	// does not set one; <= 0 means decompose.DefaultThreshold.
+	DefaultThreshold int
+}
+
+// LoadSpec names a graph source for Registry.Load. Exactly one of Dataset,
+// Path or Edges must be set.
+type LoadSpec struct {
+	// Name registers the graph under this identifier (required,
+	// [A-Za-z0-9._-]{1,64}).
+	Name string `json:"name"`
+
+	// Dataset is a named synthetic dataset (datasets.Names), built at Scale
+	// (<= 0 means 0.25).
+	Dataset string  `json:"dataset,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+
+	// Path is a graph file readable by graphio.LoadFile; Format overrides
+	// extension sniffing and Directed applies to edge-list input.
+	Path     string `json:"path,omitempty"`
+	Format   string `json:"format,omitempty"`
+	Directed bool   `json:"directed,omitempty"`
+
+	// Edges is an inline edge list over vertices [0, N); Directed applies.
+	N     int        `json:"n,omitempty"`
+	Edges [][2]int32 `json:"edges,omitempty"`
+
+	// Threshold overrides the registry's default decomposition threshold.
+	Threshold int `json:"threshold,omitempty"`
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// Entry is one named graph in the registry. All fields behind mu; the
+// exported accessors take the lock.
+type Entry struct {
+	name string
+
+	mu        sync.RWMutex
+	state     State
+	err       string
+	inc       *core.Incremental
+	threshold int
+	loadedAt  time.Time
+	buildTime time.Duration
+}
+
+// EntryInfo is a point-in-time snapshot of an entry, JSON-ready.
+type EntryInfo struct {
+	Name     string `json:"name"`
+	State    State  `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Directed bool   `json:"directed,omitempty"`
+	Verts    int    `json:"verts,omitempty"`
+	Edges    int64  `json:"edges,omitempty"`
+	// Threshold is the decomposition threshold the graph was loaded with.
+	Threshold int `json:"threshold,omitempty"`
+	// Subgraphs/BoundaryAPs echo the cached decomposition's shape.
+	Subgraphs   int `json:"subgraphs,omitempty"`
+	BoundaryAPs int `json:"boundary_aps,omitempty"`
+	// LocalUpdates and FullRebuilds count how mutations were absorbed.
+	LocalUpdates int `json:"local_updates"`
+	FullRebuilds int `json:"full_rebuilds"`
+	// LoadedAt/BuildMs are set once the build job finishes.
+	LoadedAt *time.Time `json:"loaded_at,omitempty"`
+	BuildMs  float64    `json:"build_ms,omitempty"`
+}
+
+// MutationResult reports how an edge update was absorbed.
+type MutationResult struct {
+	// Result is "local" (intra-sub-graph incremental update) or "rebuild"
+	// (structural change forced a full re-decomposition).
+	Result string `json:"result"`
+	Verts  int    `json:"verts"`
+	Edges  int64  `json:"edges"`
+	// TookMs is the wall time of the update.
+	TookMs float64 `json:"took_ms"`
+}
+
+// Registry is the set of loaded graphs plus the bounded build-job pool.
+type Registry struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.RWMutex
+	graphs map[string]*Entry
+	closed bool
+
+	jobs chan buildJob
+	wg   sync.WaitGroup
+
+	// onLoadDone and onMutate are metrics hooks (nil-safe); see metrics.go.
+	onLoadDone func(status string)
+	onMutate   func(result string)
+	onCount    func(loaded int)
+
+	// beforeBuild, when set (tests only), runs at the start of every build
+	// job — it lets tests hold a worker busy deterministically.
+	beforeBuild func()
+}
+
+type buildJob struct {
+	e    *Entry
+	spec LoadSpec
+}
+
+// NewRegistry starts the worker pool. Close must be called to release it.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Registry{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		graphs: map[string]*Entry{},
+		jobs:   make(chan buildJob, cfg.QueueDepth),
+	}
+	// A fixed worker set draining a shared queue — par.Pool's shape, hand
+	// rolled because jobs arrive over time rather than as a fixed index
+	// range.
+	r.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go r.worker()
+	}
+	return r
+}
+
+func (r *Registry) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.ctx.Done():
+			// Abort queued builds: drain whatever is left so Close's final
+			// drain and this race cleanly (each job is marked exactly once).
+			return
+		case j, ok := <-r.jobs:
+			if !ok {
+				return
+			}
+			r.runBuild(j)
+		}
+	}
+}
+
+// runBuild executes one load job: materialize the graph, decompose, compute
+// initial BC. The coarse-grained cancellation points are between phases —
+// the phases themselves are CPU-bound library calls.
+func (r *Registry) runBuild(j buildJob) {
+	if r.beforeBuild != nil {
+		r.beforeBuild()
+	}
+	start := time.Now()
+	fail := func(status string, err error) {
+		j.e.mu.Lock()
+		j.e.state = StateFailed
+		j.e.err = err.Error()
+		j.e.mu.Unlock()
+		r.notifyLoadDone(status)
+	}
+	if err := r.ctx.Err(); err != nil {
+		fail("canceled", fmt.Errorf("server: load canceled: %w", err))
+		return
+	}
+	g, err := buildGraph(j.spec)
+	if err != nil {
+		fail("error", err)
+		return
+	}
+	if err := r.ctx.Err(); err != nil {
+		fail("canceled", fmt.Errorf("server: load canceled: %w", err))
+		return
+	}
+	inc, err := core.NewIncremental(g, core.Options{Threshold: j.e.threshold})
+	if err != nil {
+		fail("error", err)
+		return
+	}
+	if g.Directed() {
+		// Materialize the transpose while we still own the entry: In() builds
+		// it lazily without synchronization, which would race under
+		// concurrent read-locked queries.
+		inc.Graph().EnsureTranspose()
+	}
+	j.e.mu.Lock()
+	j.e.inc = inc
+	j.e.state = StateReady
+	j.e.loadedAt = time.Now().UTC()
+	j.e.buildTime = time.Since(start)
+	j.e.mu.Unlock()
+	r.notifyLoadDone("ok")
+	r.notifyCount(r.NumReady())
+}
+
+func buildGraph(spec LoadSpec) (*graph.Graph, error) {
+	switch {
+	case spec.Dataset != "":
+		scale := spec.Scale
+		if scale <= 0 {
+			scale = 0.25
+		}
+		if spec.Dataset == "human-disease" {
+			_, g := datasets.HumanDisease()
+			return g, nil
+		}
+		ds, err := datasets.ByName(spec.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Build(scale), nil
+	case spec.Path != "":
+		return graphio.LoadFile(spec.Path, spec.Format, spec.Directed)
+	case len(spec.Edges) > 0:
+		n := spec.N
+		edges := make([]graph.Edge, len(spec.Edges))
+		for i, e := range spec.Edges {
+			edges[i] = graph.Edge{From: e[0], To: e[1]}
+			for _, v := range e {
+				if int(v) >= n {
+					n = int(v) + 1
+				}
+				if v < 0 {
+					return nil, fmt.Errorf("server: negative vertex %d in inline edge list", v)
+				}
+			}
+		}
+		return graph.NewFromEdges(n, edges, spec.Directed), nil
+	default:
+		return nil, fmt.Errorf("server: load spec needs one of dataset, path or edges")
+	}
+}
+
+// Load registers spec.Name and enqueues the build job. It returns
+// immediately; poll Get until the state leaves StateLoading.
+func (r *Registry) Load(spec LoadSpec) (*Entry, error) {
+	if !nameRE.MatchString(spec.Name) {
+		return nil, fmt.Errorf("server: invalid graph name %q (want %s)", spec.Name, nameRE)
+	}
+	if spec.Dataset == "" && spec.Path == "" && len(spec.Edges) == 0 {
+		return nil, fmt.Errorf("server: load spec needs one of dataset, path or edges")
+	}
+	threshold := spec.Threshold
+	if threshold <= 0 {
+		threshold = r.cfg.DefaultThreshold
+	}
+	e := &Entry{name: spec.Name, state: StateLoading, threshold: threshold}
+
+	// The enqueue happens under r.mu so Close (which takes r.mu before
+	// closing the channel) can never close r.jobs mid-send.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("server: registry is shut down")
+	}
+	if _, ok := r.graphs[spec.Name]; ok {
+		return nil, &ConflictError{Name: spec.Name}
+	}
+	select {
+	case r.jobs <- buildJob{e: e, spec: spec}:
+		r.graphs[spec.Name] = e
+		return e, nil
+	default:
+		return nil, fmt.Errorf("server: build queue full (%d jobs)", r.cfg.QueueDepth)
+	}
+}
+
+// ConflictError reports a Load against a name already in use.
+type ConflictError struct{ Name string }
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("server: graph %q already loaded", e.Name)
+}
+
+// Get returns the entry for name, or nil.
+func (r *Registry) Get(name string) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.graphs[name]
+}
+
+// Unload removes name from the registry. In-flight queries holding the
+// entry's lock finish on their reference; a build job still running for it
+// completes into the detached entry and is garbage afterwards.
+func (r *Registry) Unload(name string) bool {
+	r.mu.Lock()
+	_, ok := r.graphs[name]
+	delete(r.graphs, name)
+	r.mu.Unlock()
+	if ok {
+		r.notifyCount(r.NumReady())
+	}
+	return ok
+}
+
+// List returns a snapshot of every entry, sorted by name.
+func (r *Registry) List() []EntryInfo {
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	out := make([]EntryInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NumReady counts entries currently in StateReady.
+func (r *Registry) NumReady() int {
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	n := 0
+	for _, e := range entries {
+		e.mu.RLock()
+		if e.state == StateReady {
+			n++
+		}
+		e.mu.RUnlock()
+	}
+	return n
+}
+
+// Close shuts the registry down: queued builds are aborted (marked failed),
+// running builds finish, and no further loads are accepted. Safe to call
+// more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+
+	r.cancel()
+	close(r.jobs)
+	r.wg.Wait()
+	// Workers have exited; whatever is still queued was never started.
+	for j := range r.jobs {
+		j.e.mu.Lock()
+		j.e.state = StateFailed
+		j.e.err = "server: load aborted by shutdown"
+		j.e.mu.Unlock()
+		r.notifyLoadDone("canceled")
+	}
+}
+
+func (r *Registry) notifyLoadDone(status string) {
+	if r.onLoadDone != nil {
+		r.onLoadDone(status)
+	}
+}
+
+func (r *Registry) notifyMutate(result string) {
+	if r.onMutate != nil {
+		r.onMutate(result)
+	}
+}
+
+func (r *Registry) notifyCount(n int) {
+	if r.onCount != nil {
+		r.onCount(n)
+	}
+}
+
+// ---- Entry accessors -------------------------------------------------------
+
+// Name returns the registry key.
+func (e *Entry) Name() string { return e.name }
+
+// Info snapshots the entry.
+func (e *Entry) Info() EntryInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	info := EntryInfo{
+		Name:      e.name,
+		State:     e.state,
+		Error:     e.err,
+		Threshold: e.threshold,
+	}
+	if e.inc != nil {
+		g := e.inc.Graph()
+		d := e.inc.Decomposition()
+		info.Directed = g.Directed()
+		info.Verts = g.NumVertices()
+		info.Edges = g.NumEdges()
+		info.Subgraphs = len(d.Subgraphs)
+		info.BoundaryAPs = d.NumArticulation
+		info.LocalUpdates = e.inc.LocalUpdates
+		info.FullRebuilds = e.inc.FullRebuilds
+		at := e.loadedAt
+		info.LoadedAt = &at
+		info.BuildMs = float64(e.buildTime) / float64(time.Millisecond)
+	}
+	return info
+}
+
+// NotReadyError reports an operation against an entry that is not serving.
+type NotReadyError struct {
+	Name  string
+	State State
+	Cause string
+}
+
+func (e *NotReadyError) Error() string {
+	if e.Cause != "" {
+		return fmt.Sprintf("server: graph %q is %s: %s", e.Name, e.State, e.Cause)
+	}
+	return fmt.Sprintf("server: graph %q is %s", e.Name, e.State)
+}
+
+// readyLocked returns the incremental handle if the entry serves, else a
+// NotReadyError. Callers must hold e.mu (either mode).
+func (e *Entry) readyLocked() (*core.Incremental, error) {
+	if e.state != StateReady || e.inc == nil {
+		return nil, &NotReadyError{Name: e.name, State: e.state, Cause: e.err}
+	}
+	return e.inc, nil
+}
+
+// BC returns a copy of the current scores.
+func (e *Entry) BC() ([]float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	inc, err := e.readyLocked()
+	if err != nil {
+		return nil, err
+	}
+	return inc.BC(), nil
+}
+
+// VertexScore pairs a vertex with its score.
+type VertexScore struct {
+	Vertex graph.V `json:"vertex"`
+	Score  float64 `json:"bc"`
+}
+
+// TopK returns the k highest-BC vertices (score desc, ties by vertex id) and
+// the total vertex count. k <= 0 means all vertices.
+func (e *Entry) TopK(k int) ([]VertexScore, int, error) {
+	bc, err := e.BC()
+	if err != nil {
+		return nil, 0, err
+	}
+	all := make([]VertexScore, len(bc))
+	for v, s := range bc {
+		all[v] = VertexScore{Vertex: graph.V(v), Score: s}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Vertex < all[j].Vertex
+	})
+	if k <= 0 || k > len(all) {
+		k = len(all)
+	}
+	return all[:k], len(bc), nil
+}
+
+// VertexInfo is the single-vertex view.
+type VertexInfo struct {
+	Vertex graph.V `json:"vertex"`
+	Score  float64 `json:"bc"`
+	// Rank is 1-based by descending score (ties share the better rank).
+	Rank      int  `json:"rank"`
+	OutDegree int  `json:"out_degree"`
+	InDegree  *int `json:"in_degree,omitempty"` // directed graphs only
+	// IsArticulation reports whether the vertex is a boundary articulation
+	// point of the cached decomposition.
+	IsArticulation bool `json:"is_articulation"`
+}
+
+// Vertex returns the per-vertex view of v.
+func (e *Entry) Vertex(v int) (VertexInfo, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	inc, err := e.readyLocked()
+	if err != nil {
+		return VertexInfo{}, err
+	}
+	g := inc.Graph()
+	if v < 0 || v >= g.NumVertices() {
+		return VertexInfo{}, &VertexRangeError{Vertex: v, N: g.NumVertices()}
+	}
+	bc := inc.BC()
+	info := VertexInfo{
+		Vertex:    graph.V(v),
+		Score:     bc[v],
+		OutDegree: g.OutDegree(graph.V(v)),
+	}
+	rank := 1
+	for _, s := range bc {
+		if s > info.Score {
+			rank++
+		}
+	}
+	info.Rank = rank
+	if g.Directed() {
+		in := g.InDegree(graph.V(v))
+		info.InDegree = &in
+	}
+	for _, sg := range inc.Decomposition().Subgraphs {
+		l := sg.LocalID(graph.V(v))
+		if l >= 0 && sg.IsArt[l] {
+			info.IsArticulation = true
+			break
+		}
+	}
+	return info, nil
+}
+
+// VertexRangeError reports a vertex id outside [0, N).
+type VertexRangeError struct{ Vertex, N int }
+
+func (e *VertexRangeError) Error() string {
+	return fmt.Sprintf("server: vertex %d out of range [0,%d)", e.Vertex, e.N)
+}
+
+// Mutate inserts (add=true) or removes the edge (u,v) through the
+// incremental engine and reports whether the update stayed local or forced a
+// rebuild. The registry's mutate hook feeds the Prometheus counters.
+func (r *Registry) Mutate(e *Entry, add bool, u, v int32) (MutationResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inc, err := e.readyLocked()
+	if err != nil {
+		return MutationResult{}, err
+	}
+	start := time.Now()
+	before := inc.FullRebuilds
+	if add {
+		err = inc.InsertEdge(u, v)
+	} else {
+		err = inc.RemoveEdge(u, v)
+	}
+	if err != nil {
+		return MutationResult{}, err
+	}
+	g := inc.Graph()
+	if g.Directed() {
+		g.EnsureTranspose() // see runBuild: lazy transpose would race later
+	}
+	res := MutationResult{
+		Result: "local",
+		Verts:  g.NumVertices(),
+		Edges:  g.NumEdges(),
+		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if inc.FullRebuilds > before {
+		res.Result = "rebuild"
+	}
+	r.notifyMutate(res.Result)
+	return res, nil
+}
+
+// Census builds the stats view (the bcstats census) of the entry. Redundancy
+// analysis is sampled above sampleCutoff vertices so the endpoint stays
+// cheap on big graphs.
+func (e *Entry) Census() (metrics.GraphCensus, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	inc, err := e.readyLocked()
+	if err != nil {
+		return metrics.GraphCensus{}, err
+	}
+	g := inc.Graph()
+	const sampleCutoff = 4096
+	sampleK := 0
+	if g.NumVertices() > sampleCutoff {
+		sampleK = 64
+	}
+	return core.BuildCensus(e.name, g, inc.Decomposition(), core.CensusOptions{
+		Threshold:         e.threshold,
+		RedundancySampleK: sampleK,
+		Seed:              1,
+	}), nil
+}

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Server is the bcd HTTP API over a Registry. It implements http.Handler.
+//
+// Routes (all JSON unless noted):
+//
+//	POST   /v1/graphs                      load a graph (async; 202 + poll)
+//	GET    /v1/graphs                      list loaded graphs
+//	GET    /v1/graphs/{name}               status / info of one graph
+//	DELETE /v1/graphs/{name}               unload
+//	GET    /v1/graphs/{name}/bc?top=K      top-K scores (top=0: full array)
+//	GET    /v1/graphs/{name}/vertices/{v}  one vertex's score, rank, degrees
+//	POST   /v1/graphs/{name}/edges         insert an edge
+//	DELETE /v1/graphs/{name}/edges         remove an edge
+//	GET    /v1/graphs/{name}/stats         articulation-point census
+//	GET    /healthz                        liveness (text)
+//	GET    /metrics                        Prometheus text format
+type Server struct {
+	reg *Registry
+	m   *Metrics
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New builds a Server over reg. logger may be nil for silence. The returned
+// server owns reg's metrics hooks.
+func New(reg *Registry, logger *log.Logger) *Server {
+	s := &Server{reg: reg, m: NewMetrics(), mux: http.NewServeMux(), log: logger}
+	s.m.Hook(reg)
+	s.route("POST /v1/graphs", s.handleLoad)
+	s.route("GET /v1/graphs", s.handleList)
+	s.route("GET /v1/graphs/{name}", s.handleGraph)
+	s.route("DELETE /v1/graphs/{name}", s.handleUnload)
+	s.route("GET /v1/graphs/{name}/bc", s.handleBC)
+	s.route("GET /v1/graphs/{name}/vertices/{v}", s.handleVertex)
+	s.route("POST /v1/graphs/{name}/edges", s.handleInsertEdge)
+	s.route("DELETE /v1/graphs/{name}/edges", s.handleRemoveEdge)
+	s.route("GET /v1/graphs/{name}/stats", s.handleStats)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server's metric bundle (the bcd main preloads gauges).
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route registers an instrumented handler under a Go 1.22 mux pattern
+// ("METHOD /path/{wildcard}"). The pattern itself is the route label, so
+// metric cardinality never grows with traffic.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		took := time.Since(start)
+		s.m.ObserveRequest(pattern, r.Method, sw.code, took)
+		if s.log != nil {
+			s.log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.code, took)
+		}
+	})
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && s.log != nil {
+		s.log.Printf("server: encode response: %v", err)
+	}
+}
+
+// writeError maps registry errors onto HTTP status codes.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	var conflict *ConflictError
+	var notReady *NotReadyError
+	var vrange *VertexRangeError
+	switch {
+	case errors.As(err, &conflict):
+		code = http.StatusConflict
+	case errors.As(err, &notReady):
+		if notReady.State == StateLoading {
+			// The canonical "come back later" answer for job polling.
+			code = http.StatusConflict
+		} else {
+			code = http.StatusUnprocessableEntity
+		}
+	case errors.As(err, &vrange):
+		code = http.StatusNotFound
+	}
+	s.writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) writeNotFound(w http.ResponseWriter, name string) {
+	s.writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("server: graph %q not loaded", name)})
+}
+
+// entry resolves {name}, writing 404 on a miss.
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) *Entry {
+	name := r.PathValue("name")
+	e := s.reg.Get(name)
+	if e == nil {
+		s.writeNotFound(w, name)
+	}
+	return e
+}
+
+// ---- handlers --------------------------------------------------------------
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var spec LoadSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad load spec: " + err.Error()})
+		return
+	}
+	e, err := s.reg.Load(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, e.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Graphs []EntryInfo `json:"graphs"`
+	}{s.reg.List()})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, e.Info())
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Unload(name) {
+		s.writeNotFound(w, name)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Name     string `json:"name"`
+		Unloaded bool   `json:"unloaded"`
+	}{name, true})
+}
+
+type bcResponse struct {
+	Name  string `json:"name"`
+	Verts int    `json:"verts"`
+	// Top is the top-K list; Scores is the full per-vertex array when the
+	// request asked for everything (top=0).
+	Top    []VertexScore `json:"top,omitempty"`
+	Scores []float64     `json:"scores,omitempty"`
+}
+
+func (s *Server) handleBC(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	top := 10
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "top must be a non-negative integer"})
+			return
+		}
+		top = v
+	}
+	if top == 0 {
+		scores, err := e.BC()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, bcResponse{Name: e.Name(), Verts: len(scores), Scores: scores})
+		return
+	}
+	list, n, err := e.TopK(top)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, bcResponse{Name: e.Name(), Verts: n, Top: list})
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "vertex id must be an integer"})
+		return
+	}
+	info, err := e.Vertex(v)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+type edgeRequest struct {
+	From graph.V `json:"from"`
+	To   graph.V `json:"to"`
+}
+
+// edgeArgs reads (from, to) from the JSON body or, for bodyless DELETEs,
+// from query parameters.
+func edgeArgs(r *http.Request) (edgeRequest, error) {
+	q := r.URL.Query()
+	if q.Has("from") || q.Has("to") {
+		from, err1 := strconv.Atoi(q.Get("from"))
+		to, err2 := strconv.Atoi(q.Get("to"))
+		if err1 != nil || err2 != nil {
+			return edgeRequest{}, fmt.Errorf("from and to must be integers")
+		}
+		return edgeRequest{From: graph.V(from), To: graph.V(to)}, nil
+	}
+	var req edgeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return edgeRequest{}, fmt.Errorf("bad edge body (want {\"from\":u,\"to\":v} or ?from=u&to=v): %w", err)
+	}
+	return req, nil
+}
+
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, add bool) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	req, err := edgeArgs(r)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		// The client has gone; skip the recompute rather than burn CPU on an
+		// answer nobody reads.
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "request canceled"})
+		return
+	}
+	res, err := s.reg.Mutate(e, add, req.From, req.To)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleInsertEdge(w http.ResponseWriter, r *http.Request) { s.mutate(w, r, true) }
+func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) { s.mutate(w, r, false) }
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e := s.entry(w, r)
+	if e == nil {
+		return
+	}
+	census, err := e.Census()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, census)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.m.WriteTo(w); err != nil && s.log != nil {
+		s.log.Printf("server: write metrics: %v", err)
+	}
+}
