@@ -2,10 +2,14 @@
 # ci.sh — the repository's verification gauntlet:
 #   1. hygiene: gofmt -l must be clean, go vet ./... must pass
 #   2. tier-1: go build ./... && go test ./...
-#   3. race pass over the parallel hot paths and the serving subsystem
-#      (core, par, brandes, server)
-#   4. bcbench -json smoke run on the smallest dataset, then the regression
+#   3. godoc gate: every internal package must open with a package comment
+#   4. race pass over the parallel hot paths and the serving subsystem
+#      (core, par, brandes, approx, server)
+#   5. bcbench -json smoke run on the smallest dataset, then the regression
 #      gate self-compared (identical inputs must exit 0)
+#   6. approx smoke: full-budget sampling must bit-match exact BC (the
+#      estimator's own K==n self-check on a tiny graph), plus the bcbench
+#      error-vs-speedup sweep at tiny scale
 set -eu
 cd "$(dirname "$0")"
 
@@ -24,8 +28,31 @@ echo "==> tier-1: go build ./... && go test ./..."
 go build ./...
 go test ./...
 
-echo "==> race: internal/core internal/par internal/brandes internal/server"
-go test -race ./internal/core ./internal/par ./internal/brandes ./internal/server
+echo "==> godoc gate: package comments on every internal package"
+undocumented=""
+for dir in internal/*/ internal/server/promtext/; do
+    pkgfiles=$(ls "$dir"*.go 2>/dev/null | grep -v '_test\.go$' || true)
+    [ -n "$pkgfiles" ] || continue
+    documented=0
+    for f in $pkgfiles; do
+        # A package comment is a comment line (or block end) immediately
+        # above the package clause.
+        if awk 'prev ~ /^(\/\/|.*\*\/)/ && $0 ~ /^package / {found=1} {prev=$0} END {exit !found}' "$f"; then
+            documented=1
+            break
+        fi
+    done
+    if [ "$documented" -eq 0 ]; then
+        undocumented="$undocumented $dir"
+    fi
+done
+if [ -n "$undocumented" ]; then
+    echo "godoc gate: packages missing a package comment:$undocumented" >&2
+    exit 1
+fi
+
+echo "==> race: internal/core internal/par internal/brandes internal/approx internal/server"
+go test -race ./internal/core ./internal/par ./internal/brandes ./internal/approx ./internal/server
 
 echo "==> bcbench -json smoke (email-enron, scale 0.05)"
 tmp=$(mktemp -d)
@@ -34,5 +61,9 @@ go run ./cmd/bcbench -table 2 -datasets email-enron -scale 0.05 -json "$tmp"
 artifact=$(ls "$tmp"/BENCH_*.json)
 echo "==> bcbench -check self-compare ($artifact)"
 go run ./cmd/bcbench -check -tolerance 5 "$artifact" "$artifact"
+
+echo "==> approx smoke: K==n bit-match + tiny error-vs-speedup sweep"
+go test -race -run 'TestExactBudgetBitMatch|TestSeededDeterminism' ./internal/approx
+go run ./cmd/bcbench -approx -datasets email-enron -scale 0.05 -json "$tmp/approx"
 
 echo "ci.sh: all checks passed"

@@ -4,6 +4,8 @@
 //	bc -in graph.txt -algo apgre -top 20
 //	bc -in road.gr -format dimacs -algo succs -workers 8
 //	bc -in roads.txt -weighted -top 10          # Dijkstra-based APGRE
+//	bc -in graph.txt -approx -pivots 512        # sampled BC, fixed budget
+//	bc -in graph.txt -approx -eps 0.01          # sampled BC, adaptive accuracy
 //	bc -in graph.txt -metric closeness
 //	bc -in graph.txt -metric edge -top 10       # edge betweenness
 package main
@@ -31,6 +33,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		topK       = flag.Int("top", 10, "print the top-K entries")
 		thresh     = flag.Int("threshold", 0, "APGRE decomposition threshold")
+		approxMode = flag.Bool("approx", false, "estimate BC from sampled pivots (decomposition-aware)")
+		pivots     = flag.Int("pivots", 0, "approx: fixed pivot budget (>= n reproduces exact BC)")
+		eps        = flag.Float64("eps", 0, "approx: adaptive mode, target CI half-width on normalized BC")
+		seed       = flag.Int64("seed", 1, "approx: sampling seed")
 		verbose    = flag.Bool("v", false, "print APGRE phase breakdown")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -57,6 +63,15 @@ func main() {
 
 	switch *metric {
 	case "bc":
+		if *approxMode {
+			if *weighted {
+				prof.Stop()
+				fmt.Fprintln(os.Stderr, "bc: -approx supports unweighted graphs only")
+				os.Exit(2)
+			}
+			runApproxBC(g, *workers, *thresh, *topK, *pivots, *eps, *seed)
+			break
+		}
 		runBC(g, *algo, *workers, *thresh, *topK, *verbose, *weighted)
 	case "closeness":
 		runCloseness(g, *workers, *topK)
@@ -127,6 +142,38 @@ func runBC(g *repro.Graph, algo string, workers, thresh, topK int, verbose, weig
 	t := &metrics.Table{Title: fmt.Sprintf("top %d vertices by betweenness", topK),
 		Headers: []string{"rank", "vertex", "bc"}}
 	for i, vs := range repro.TopK(bc, topK) {
+		t.AddRow(i+1, vs.Vertex, vs.Score)
+	}
+	t.Render(os.Stdout)
+}
+
+func runApproxBC(g *repro.Graph, workers, thresh, topK, pivots int, eps float64, seed int64) {
+	opt := repro.ApproxOptions{
+		Pivots:    pivots,
+		Eps:       eps,
+		Seed:      seed,
+		Workers:   workers,
+		Threshold: thresh,
+	}
+	if opt.Pivots <= 0 && opt.Eps <= 0 {
+		opt.Eps = 0.05 // match bcd's default accuracy target
+	}
+	start := time.Now()
+	res, err := repro.ApproximateBCDecomposed(g, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bc: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	quality := fmt.Sprintf("err<=%.4g", res.ErrEstimate)
+	if res.Exact {
+		quality = "exact"
+	}
+	fmt.Printf("approx finished in %s (pivots=%d/%d, %s)\n",
+		metrics.FormatDuration(elapsed), res.Pivots, res.ExactRoots, quality)
+	t := &metrics.Table{Title: fmt.Sprintf("top %d vertices by approximate betweenness", topK),
+		Headers: []string{"rank", "vertex", "bc"}}
+	for i, vs := range repro.TopK(res.BC, topK) {
 		t.AddRow(i+1, vs.Vertex, vs.Score)
 	}
 	t.Render(os.Stdout)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func tinyConfig(buf *bytes.Buffer) config {
@@ -128,5 +130,40 @@ func TestDatasetFilter(t *testing.T) {
 	c2 := config{}
 	if len(c2.selected()) != 12 {
 		t.Fatal("nil filter should select all")
+	}
+}
+
+func TestApproxExperimentRenders(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	c.rec = metrics.NewRecorder(c.scale, c.workers)
+	if err := approxExperiment(c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "error vs speedup") || countDataRows(out) < 4 {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// Per dataset: one exact baseline record plus at least one sampled record
+	// carrying the new fields.
+	doc := c.rec.Document()
+	sampled := 0
+	for _, r := range doc.Records {
+		if r.Experiment != "approx" {
+			t.Fatalf("unexpected experiment %q", r.Experiment)
+		}
+		if r.Algorithm != "approx" {
+			continue
+		}
+		sampled++
+		if r.Pivots <= 0 || r.KendallTau == 0 {
+			t.Fatalf("sampled record missing approx fields: %+v", r)
+		}
+		if !strings.Contains(r.Key(), "/k=") {
+			t.Fatalf("sampled record key lacks pivot budget: %s", r.Key())
+		}
+	}
+	if sampled < 2 {
+		t.Fatalf("want sampled records for both datasets, got %d", sampled)
 	}
 }

@@ -177,6 +177,52 @@ func TestRunCheck(t *testing.T) {
 	}
 }
 
+// TestApproxRecordRoundTrip pins the approximate-mode record fields: they
+// survive the JSON round trip, stay omitted on exact records, and the key
+// carries the pivot budget so a whole error-vs-speedup curve is addressable.
+func TestApproxRecordRoundTrip(t *testing.T) {
+	rec := metrics.NewRecorder(0.05, 1)
+	rec.Add(metrics.Record{Experiment: "approx", Graph: "email-enron",
+		Algorithm: "approx", Workers: 1, Scale: 0.05, Verts: 100, Edges: 400,
+		Wall: 5 * time.Millisecond, Speedup: 4,
+		Pivots: 20, MaxAbsErr: 0.012, KendallTau: 0.93})
+	rec.Add(metrics.Record{Experiment: "approx", Graph: "email-enron",
+		Algorithm: "apgre", Workers: 1, Scale: 0.05, Verts: 100, Edges: 400,
+		Wall: 20 * time.Millisecond, Speedup: 1})
+	path, err := rec.WriteFile(filepath.Join(t.TempDir(), "approx.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := metrics.ReadDocument(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, exact := doc.Records[0], doc.Records[1]
+	if sampled.Pivots != 20 || sampled.MaxAbsErr != 0.012 || sampled.KendallTau != 0.93 {
+		t.Fatalf("approx fields lost in round trip: %+v", sampled)
+	}
+	if sampled.Key() != "approx/email-enron/approx/p=1/k=20" {
+		t.Fatalf("sampled key = %s", sampled.Key())
+	}
+	if exact.Key() != "approx/email-enron/apgre/p=1" {
+		t.Fatalf("exact key = %s", exact.Key())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	exactRaw := raw["records"].([]any)[1].(map[string]any)
+	for _, k := range []string{"pivots", "max_abs_err", "kendall_tau"} {
+		if _, present := exactRaw[k]; present {
+			t.Fatalf("exact record should omit %q: %v", k, keysOf(exactRaw))
+		}
+	}
+}
+
 func equalStrings(a, b []string) bool {
 	if len(a) != len(b) {
 		return false

@@ -1,0 +1,41 @@
+package core
+
+import "repro/internal/decompose"
+
+// RootSweep exposes the serial four-dependency engine (state.go) one root at
+// a time, so samplers outside this package — internal/approx's per-sub-graph
+// pivot estimator — run exactly the same arithmetic as the exact engine. A
+// full-budget sample therefore reproduces the coarse serial path of
+// ComputeDecomposed bit-for-bit, not merely "up to rounding": same per-root
+// sweep, same in-sub-graph accumulation order, same α/β/γ seeds.
+//
+// Usage discipline: after a group of Run calls on one sub-graph, Collect the
+// accumulated scores with dst sized to that sub-graph's NumVerts before
+// switching to another sub-graph. Collect zeroes the internal buffer, which
+// keeps the scratch reusable across sub-graphs of different sizes.
+type RootSweep struct {
+	st serialState
+}
+
+// Run executes Algorithm 2 for one root of sg (forward σ BFS plus the
+// backward four-dependency accumulation with the α/β/γ boundary terms),
+// adding the root's contribution into the sweep's local score buffer. The
+// scratch grows on demand and is reusable across sub-graphs.
+func (rs *RootSweep) Run(sg *decompose.Subgraph, root int32, directed bool) {
+	rs.st.ensure(sg.NumVerts())
+	rs.st.runRoot(sg, root, directed)
+}
+
+// Collect adds the accumulated local scores for the first len(dst) local
+// vertices into dst and zeroes the internal buffer, leaving the sweep ready
+// for the next sub-graph or pivot batch.
+func (rs *RootSweep) Collect(dst []float64) {
+	for l := range dst {
+		dst[l] += rs.st.bcLocal[l]
+		rs.st.bcLocal[l] = 0
+	}
+}
+
+// Traversed returns the total number of arcs traversed by all Run calls so
+// far (the paper's work metric).
+func (rs *RootSweep) Traversed() int64 { return rs.st.traversed }

@@ -60,14 +60,29 @@ type Record struct {
 	// report work without a full phase breakdown.
 	TraversedArcs int64           `json:"traversed_arcs,omitempty"`
 	Breakdown     *PhaseBreakdown `json:"breakdown,omitempty"`
+	// Pivots is the approximate-mode source-sample budget actually run;
+	// 0 (omitted) for exact algorithms.
+	Pivots int `json:"pivots,omitempty"`
+	// MaxAbsErr is the measured max per-vertex |approx − exact| on the
+	// normalized BC scale (divided by (n−1)(n−2)).
+	MaxAbsErr float64 `json:"max_abs_err,omitempty"`
+	// KendallTau is the rank correlation (τ-b) of the approximate scores
+	// against exact BC.
+	KendallTau float64 `json:"kendall_tau,omitempty"`
 	// Unsupported marks the paper's "-" cells (e.g. async on directed
 	// graphs); such records carry no timing.
 	Unsupported bool `json:"unsupported,omitempty"`
 }
 
-// Key identifies a record for cross-document comparison.
+// Key identifies a record for cross-document comparison. Approximate-mode
+// cells carry their pivot count so one graph's whole error-vs-speedup curve
+// stays addressable.
 func (r Record) Key() string {
-	return fmt.Sprintf("%s/%s/%s/p=%d", r.Experiment, r.Graph, r.Algorithm, r.Workers)
+	key := fmt.Sprintf("%s/%s/%s/p=%d", r.Experiment, r.Graph, r.Algorithm, r.Workers)
+	if r.Pivots > 0 {
+		key += fmt.Sprintf("/k=%d", r.Pivots)
+	}
+	return key
 }
 
 // Document is the top-level BENCH_*.json artifact.

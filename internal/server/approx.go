@@ -1,0 +1,108 @@
+package server
+
+// Approximate-mode serving: GET /v1/graphs/{name}/bc?mode=approx is answered
+// from a per-entry approx.Estimator cached next to the exact scores. The
+// estimator is built lazily from the entry's decomposition, refined just far
+// enough to satisfy each query (a pivot budget or an eps target), and kept
+// warm: after answering, one extra batch is refined in the background so
+// repeated queries converge toward exactness without blocking anyone.
+// Mutations drop the estimator (registry.go) since both the scores and the
+// decomposition it references may have changed.
+
+import (
+	"math"
+
+	"repro/internal/approx"
+)
+
+// approxSeed fixes the serving estimator's sampling seed: responses are
+// deterministic for a given load + mutation history, which keeps the
+// httptest suite and operators' curls reproducible.
+const approxSeed = 1
+
+// ApproxInfo describes a served estimate.
+type ApproxInfo struct {
+	// Pivots is the total root sweeps behind the estimate, ExactRoots what
+	// the exact engine would need.
+	Pivots     int   `json:"pivots"`
+	ExactRoots int64 `json:"exact_roots"`
+	// ErrorEstimate is the bootstrap CI half-width on normalized BC; 0 when
+	// Exact (non-finite values are clamped to 0 with Exact == false only
+	// before any batches exist, which a served query never observes).
+	ErrorEstimate float64 `json:"error_estimate"`
+	Exact         bool    `json:"exact"`
+}
+
+// ApproxBC serves approximate scores for e, refining the cached estimator to
+// the requested pivot budget (pivots > 0) or eps target (otherwise). The
+// returned slice is private to the caller.
+func (r *Registry) ApproxBC(e *Entry, pivots int, eps float64) ([]float64, ApproxInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inc, err := e.readyLocked()
+	if err != nil {
+		return nil, ApproxInfo{}, err
+	}
+	if e.est == nil {
+		est, err := approx.NewEstimator(inc.Decomposition(), approx.Options{Seed: approxSeed})
+		if err != nil {
+			return nil, ApproxInfo{}, err
+		}
+		e.est = est
+	}
+	before := e.est.Pivots()
+	if pivots > 0 {
+		e.est.EnsureBudget(pivots)
+	} else {
+		e.est.EnsureEps(eps)
+	}
+	info := ApproxInfo{
+		Pivots:        e.est.Pivots(),
+		ExactRoots:    e.est.ExactRoots(),
+		ErrorEstimate: finiteOrZero(e.est.ErrorEstimate()),
+		Exact:         e.est.Exact(),
+	}
+	r.notifyApprox(e.name, e.est.Pivots()-before, info.ErrorEstimate)
+	scores := e.est.Estimate()
+	if !info.Exact {
+		r.refineInBackground(e)
+	}
+	return scores, info, nil
+}
+
+// refineInBackground runs one extra batch on the entry's estimator off the
+// request path. At most one refinement goroutine per entry is in flight; it
+// re-checks the estimator under the lock because a mutation or unload may
+// have intervened.
+func (r *Registry) refineInBackground(e *Entry) {
+	if !e.refining.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.refining.Store(false)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.est == nil || e.est.Exact() {
+			return
+		}
+		before := e.est.Pivots()
+		if e.est.Refine(approx.DefaultBatchSize) > 0 {
+			r.notifyApprox(e.name, e.est.Pivots()-before, finiteOrZero(e.est.ErrorEstimate()))
+		}
+	}()
+}
+
+func (r *Registry) notifyApprox(name string, pivots int, errEstimate float64) {
+	if r.onApprox != nil {
+		r.onApprox(name, pivots, errEstimate)
+	}
+}
+
+// finiteOrZero clamps the estimator's +Inf "no batches yet" sentinel for
+// JSON (which cannot encode infinities).
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -14,11 +14,13 @@ import (
 type Metrics struct {
 	reg *promtext.Registry
 
-	requests    *promtext.CounterVec   // route, method, code
-	latency     *promtext.HistogramVec // route
-	graphs      *promtext.GaugeVec     // (none)
-	incremental *promtext.CounterVec   // result = local | rebuild
-	loads       *promtext.CounterVec   // status = ok | error | canceled
+	requests     *promtext.CounterVec    // route, method, code
+	latency      *promtext.HistogramVec  // route
+	graphs       *promtext.GaugeVec      // (none)
+	incremental  *promtext.CounterVec    // result = local | rebuild
+	loads        *promtext.CounterVec    // status = ok | error | canceled
+	approxPivots *promtext.CounterVec    // graph
+	approxError  *promtext.FloatGaugeVec // graph
 }
 
 // NewMetrics builds the metric families.
@@ -40,6 +42,14 @@ func NewMetrics() *Metrics {
 			"result"),
 		loads: reg.NewCounter("bcd_load_jobs_total",
 			"Graph build jobs finished, by status.", "status"),
+		approxPivots: reg.NewCounter("bcd_approx_pivots_total",
+			"Pivot sweeps run by the approximate-BC estimator, by graph "+
+				"(foreground query refinement plus background batches).",
+			"graph"),
+		approxError: reg.NewFloatGauge("bcd_approx_error_estimate",
+			"Latest bootstrap CI half-width of the approximate-BC estimate "+
+				"on the normalized scale, by graph (0 once exact).",
+			"graph"),
 	}
 	// Pre-register the low-cardinality series so scrapers see zeros instead
 	// of absent series before the first event.
@@ -57,6 +67,10 @@ func (m *Metrics) Hook(r *Registry) {
 	r.onLoadDone = func(status string) { m.loads.With(status).Inc() }
 	r.onMutate = func(result string) { m.incremental.With(result).Inc() }
 	r.onCount = func(n int) { m.graphs.With().Set(int64(n)) }
+	r.onApprox = func(name string, pivots int, errEstimate float64) {
+		m.approxPivots.With(name).Add(pivots)
+		m.approxError.With(name).Set(errEstimate)
+	}
 }
 
 // ObserveRequest records one served request.

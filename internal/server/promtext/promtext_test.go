@@ -134,3 +134,22 @@ func TestPanicsOnMisuse(t *testing.T) {
 		}()
 	}
 }
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	fg := r.NewFloatGauge("approx_error_estimate", "CI half-width.", "graph")
+	fg.With("wiki").Set(0.0125)
+	fg.With("road").Set(0)
+
+	text := render(t, r)
+	checkFormat(t, text)
+	for _, want := range []string{
+		"# TYPE approx_error_estimate gauge",
+		`approx_error_estimate{graph="wiki"} 0.0125`,
+		`approx_error_estimate{graph="road"} 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}

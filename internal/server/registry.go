@@ -16,8 +16,10 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/graph"
@@ -94,6 +96,12 @@ type Entry struct {
 	threshold int
 	loadedAt  time.Time
 	buildTime time.Duration
+
+	// est is the lazily built approximate-mode estimator (approx.go). It is
+	// derived from inc's decomposition, so Mutate drops it; refining guards
+	// the single background refinement goroutine.
+	est      *approx.Estimator
+	refining atomic.Bool
 }
 
 // EntryInfo is a point-in-time snapshot of an entry, JSON-ready.
@@ -141,10 +149,12 @@ type Registry struct {
 	jobs chan buildJob
 	wg   sync.WaitGroup
 
-	// onLoadDone and onMutate are metrics hooks (nil-safe); see metrics.go.
+	// onLoadDone, onMutate and onApprox are metrics hooks (nil-safe); see
+	// metrics.go.
 	onLoadDone func(status string)
 	onMutate   func(result string)
 	onCount    func(loaded int)
+	onApprox   func(name string, pivots int, errEstimate float64)
 
 	// beforeBuild, when set (tests only), runs at the start of every build
 	// job — it lets tests hold a worker busy deterministically.
@@ -505,8 +515,14 @@ func (e *Entry) TopK(k int) ([]VertexScore, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	all := make([]VertexScore, len(bc))
-	for v, s := range bc {
+	return topKOf(bc, k), len(bc), nil
+}
+
+// topKOf ranks a score vector: score desc, ties by vertex id. k <= 0 means
+// all vertices. Shared by the exact and approximate bc endpoints.
+func topKOf(scores []float64, k int) []VertexScore {
+	all := make([]VertexScore, len(scores))
+	for v, s := range scores {
 		all[v] = VertexScore{Vertex: graph.V(v), Score: s}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -518,7 +534,7 @@ func (e *Entry) TopK(k int) ([]VertexScore, int, error) {
 	if k <= 0 || k > len(all) {
 		k = len(all)
 	}
-	return all[:k], len(bc), nil
+	return all[:k]
 }
 
 // VertexInfo is the single-vertex view.
@@ -613,6 +629,10 @@ func (r *Registry) Mutate(e *Entry, add bool, u, v int32) (MutationResult, error
 	if inc.FullRebuilds > before {
 		res.Result = "rebuild"
 	}
+	// The scores changed (and on rebuild the decomposition the estimator
+	// holds references into was replaced): drop the approximate-mode cache so
+	// the next approx query samples fresh state.
+	e.est = nil
 	r.notifyMutate(res.Result)
 	return res, nil
 }

@@ -21,6 +21,8 @@ import (
 //	GET    /v1/graphs/{name}               status / info of one graph
 //	DELETE /v1/graphs/{name}               unload
 //	GET    /v1/graphs/{name}/bc?top=K      top-K scores (top=0: full array)
+//	       …/bc?mode=approx&eps=E|pivots=K approximate scores from the cached
+//	                                       sampling estimator (approx.go)
 //	GET    /v1/graphs/{name}/vertices/{v}  one vertex's score, rank, degrees
 //	POST   /v1/graphs/{name}/edges         insert an edge
 //	DELETE /v1/graphs/{name}/edges         remove an edge
@@ -183,19 +185,28 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 type bcResponse struct {
 	Name  string `json:"name"`
 	Verts int    `json:"verts"`
+	// Mode is "approx" for sampled responses (absent for exact ones), with
+	// Approx carrying the estimator's accounting.
+	Mode   string      `json:"mode,omitempty"`
+	Approx *ApproxInfo `json:"approx,omitempty"`
 	// Top is the top-K list; Scores is the full per-vertex array when the
 	// request asked for everything (top=0).
 	Top    []VertexScore `json:"top,omitempty"`
 	Scores []float64     `json:"scores,omitempty"`
 }
 
+// defaultApproxEps is the eps target used when mode=approx names neither a
+// pivot budget nor an eps.
+const defaultApproxEps = 0.05
+
 func (s *Server) handleBC(w http.ResponseWriter, r *http.Request) {
 	e := s.entry(w, r)
 	if e == nil {
 		return
 	}
+	q := r.URL.Query()
 	top := 10
-	if raw := r.URL.Query().Get("top"); raw != "" {
+	if raw := q.Get("top"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
 			s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "top must be a non-negative integer"})
@@ -203,21 +214,59 @@ func (s *Server) handleBC(w http.ResponseWriter, r *http.Request) {
 		}
 		top = v
 	}
-	if top == 0 {
-		scores, err := e.BC()
+
+	resp := bcResponse{Name: e.Name()}
+	var scores []float64
+	switch mode := q.Get("mode"); mode {
+	case "", "exact":
+		var err error
+		scores, err = e.BC()
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, bcResponse{Name: e.Name(), Verts: len(scores), Scores: scores})
+	case "approx":
+		pivots := 0
+		if raw := q.Get("pivots"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 {
+				s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "pivots must be a positive integer"})
+				return
+			}
+			pivots = v
+		}
+		eps := defaultApproxEps
+		if raw := q.Get("eps"); raw != "" {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil || v <= 0 {
+				s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "eps must be a positive number"})
+				return
+			}
+			eps = v
+		}
+		var info ApproxInfo
+		var err error
+		scores, info, err = s.reg.ApproxBC(e, pivots, eps)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.Mode = "approx"
+		resp.Approx = &info
+		w.Header().Set("X-BC-Error-Estimate", strconv.FormatFloat(info.ErrorEstimate, 'g', -1, 64))
+		w.Header().Set("X-BC-Pivots", strconv.Itoa(info.Pivots))
+	default:
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "mode must be exact or approx"})
 		return
 	}
-	list, n, err := e.TopK(top)
-	if err != nil {
-		s.writeError(w, err)
-		return
+
+	resp.Verts = len(scores)
+	if top == 0 {
+		resp.Scores = scores
+	} else {
+		resp.Top = topKOf(scores, top)
 	}
-	s.writeJSON(w, http.StatusOK, bcResponse{Name: e.Name(), Verts: n, Top: list})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/brandes"
 	"repro/internal/closeness"
 	"repro/internal/community"
@@ -158,6 +159,22 @@ func BetweennessCentrality(g *Graph, opt Options) ([]float64, error) {
 // [19]); the result is scaled to the exact magnitude.
 func ApproximateBC(g *Graph, samples int, seed int64) []float64 {
 	return brandes.Sampled(g, samples, seed)
+}
+
+// ApproxOptions configures the decomposition-aware estimator (internal/approx).
+type ApproxOptions = approx.Options
+
+// ApproxResult is a finished decomposition-aware estimate.
+type ApproxResult = approx.Result
+
+// ApproximateBCDecomposed estimates BC with the per-sub-graph pivot sampler
+// fused with the APGRE decomposition: sources are sampled per sub-graph and
+// Horvitz–Thompson scaled while the α/β/γ boundary corrections stay exact.
+// Unlike ApproximateBC this is unbiased per vertex, reproduces exact BC when
+// the budget covers every root, and supports an adaptive eps mode
+// (ApproxOptions.Eps) with a bootstrap stopping rule. Unweighted graphs only.
+func ApproximateBCDecomposed(g *Graph, opt ApproxOptions) (*ApproxResult, error) {
+	return approx.Estimate(g, opt)
 }
 
 // WeightedEdge is an edge with a positive length.
