@@ -4,7 +4,9 @@
 #   2. tier-1: go build ./... && go test ./...
 #   3. godoc gate: every internal package must open with a package comment
 #   4. race pass over the parallel hot paths and the serving subsystem
-#      (core, par, brandes, approx, server)
+#      (core, par, brandes, approx, server), plus an explicit scheduler
+#      gate: the dynamic unit scheduler must match serial Brandes at
+#      workers 1, 2, 4 and 8 under -race
 #   5. bcbench -json smoke run on the smallest dataset, then the regression
 #      gate self-compared (identical inputs must exit 0)
 #   6. approx smoke: full-budget sampling must bit-match exact BC (the
@@ -53,6 +55,15 @@ fi
 
 echo "==> race: internal/core internal/par internal/brandes internal/approx internal/server"
 go test -race ./internal/core ./internal/par ./internal/brandes ./internal/approx ./internal/server
+
+echo "==> scheduler gate: BC vs serial Brandes at workers 1,2,4(,8) under -race"
+# The worker-sweep test runs the dynamic scheduler at workers 1, 2, 4 and 8
+# on all nine graph families and asserts the scores match serial Brandes
+# within the suite tolerance; the equivalence and determinism tests pin
+# static==dynamic and run-to-run bit stability.
+go test -race -count=1 \
+    -run 'TestSchedulerWorkerSweepMatchesBrandes|TestSchedulerStaticDynamicEquivalent|TestSchedulerDeterministic' \
+    ./internal/core
 
 echo "==> bcbench -json smoke (email-enron, scale 0.05)"
 tmp=$(mktemp -d)

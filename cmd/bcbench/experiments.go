@@ -447,6 +447,66 @@ func figure10(c config) error {
 	return nil
 }
 
+// schedulerExperiment sweeps worker counts under both work-distribution
+// schemes — the legacy static phase-A/phase-B split and the cost-ordered
+// dynamic unit scheduler (core.SchedulerDynamic) — on every selected dataset.
+// It is the Figure 9 analogue for the scheduler itself: the dynamic row's
+// speedup column is measured against the static scheduler at the same worker
+// count, so the BENCH record directly certifies the scheduler win.
+func schedulerExperiment(c config) error {
+	sweep := []int{1, 2, 4, 8}
+	t := &metrics.Table{
+		Title:   "Scheduler sweep. APGRE static vs dynamic unit scheduler",
+		Headers: append([]string{"graph", "scheduler"}, append(workerHeaders(sweep), "gain@8")...),
+	}
+	scheds := []struct {
+		name string
+		s    core.Scheduler
+	}{
+		{core.SchedulerStatic.String(), core.SchedulerStatic},
+		{core.SchedulerDynamic.String(), core.SchedulerDynamic},
+	}
+	for _, ds := range c.selected() {
+		g := ds.Build(c.scale)
+		static := map[int]time.Duration{}
+		for _, sc := range scheds {
+			row := []any{ds.Name, sc.name}
+			var gain string
+			for _, w := range sweep {
+				var bd core.Breakdown
+				start := time.Now()
+				if _, err := core.Compute(g, core.Options{Workers: w,
+					Threshold: c.threshold, Scheduler: sc.s, Breakdown: &bd}); err != nil {
+					return err
+				}
+				d := time.Since(start)
+				rec := metrics.Record{Experiment: "scheduler", Graph: ds.Name,
+					Algorithm: "apgre", Workers: w, Scheduler: sc.name,
+					Verts: g.NumVertices(), Edges: g.NumEdges(), Wall: d,
+					MTEPS:         metrics.MTEPS(g.NumVertices(), g.NumEdges(), d),
+					TraversedArcs: bd.TraversedArcs, Breakdown: breakdownRecord(bd)}
+				if sc.s == core.SchedulerStatic {
+					static[w] = d
+					rec.Speedup = 1
+				} else {
+					rec.Speedup = metrics.Speedup(static[w], d)
+					if w == 8 {
+						gain = metrics.FormatSpeedup(rec.Speedup)
+					}
+				}
+				c.record(rec)
+				row = append(row, metrics.FormatDuration(d))
+			}
+			if gain == "" {
+				gain = "-"
+			}
+			t.AddRow(append(row, gain)...)
+		}
+	}
+	t.Render(c.w())
+	return nil
+}
+
 func workerHeaders(sweep []int) []string {
 	out := make([]string, len(sweep))
 	for i, w := range sweep {

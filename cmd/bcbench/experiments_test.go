@@ -133,6 +133,50 @@ func TestDatasetFilter(t *testing.T) {
 	}
 }
 
+func TestSchedulerExperimentRenders(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	c.datasets = map[string]bool{"usa-roadny": true}
+	c.rec = metrics.NewRecorder(c.scale, c.workers)
+	if err := schedulerExperiment(c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Scheduler sweep", "static", "dynamic", "gain@8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// 2 schedulers × 4 worker counts, every record tagged so static and
+	// dynamic cells never collide under -check.
+	doc := c.rec.Document()
+	if len(doc.Records) != 8 {
+		t.Fatalf("want 8 records, got %d", len(doc.Records))
+	}
+	keys := map[string]bool{}
+	for _, r := range doc.Records {
+		if r.Experiment != "scheduler" || r.Scheduler == "" {
+			t.Fatalf("record missing scheduler tag: %+v", r)
+		}
+		if !strings.Contains(r.Key(), "/s="+r.Scheduler) {
+			t.Fatalf("key lacks scheduler: %s", r.Key())
+		}
+		if keys[r.Key()] {
+			t.Fatalf("duplicate key %s", r.Key())
+		}
+		keys[r.Key()] = true
+		if r.Scheduler == "static" && r.Speedup != 1 {
+			t.Fatalf("static baseline speedup = %v, want 1", r.Speedup)
+		}
+		if r.Scheduler == "dynamic" && r.Speedup <= 0 {
+			t.Fatalf("dynamic record missing speedup vs static: %+v", r)
+		}
+		if r.Breakdown == nil || r.Breakdown.Total <= 0 {
+			t.Fatalf("scheduler record missing breakdown: %+v", r)
+		}
+	}
+}
+
 func TestApproxExperimentRenders(t *testing.T) {
 	var buf bytes.Buffer
 	c := tinyConfig(&buf)

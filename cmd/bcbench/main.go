@@ -12,6 +12,7 @@
 //	bcbench -figure 9         # Figure 9: thread scaling, all algorithms
 //	bcbench -figure 10        # Figure 10: APGRE thread scaling
 //	bcbench -approx           # approximate BC: error vs speedup sweep
+//	bcbench -sched            # scheduler sweep: static vs dynamic units
 //	bcbench -all              # everything, in paper order
 //
 // -scale multiplies dataset sizes (default 0.25 keeps a full -all run in
@@ -55,6 +56,7 @@ func main() {
 		thresh     = flag.Int("threshold", 0, "APGRE decomposition threshold (0 = default)")
 		ext        = flag.Bool("ext", false, "run the extension experiments (weighted, closeness, incremental)")
 		approxExp  = flag.Bool("approx", false, "run the approximate-BC error-vs-speedup sweep")
+		sched      = flag.Bool("sched", false, "run the static-vs-dynamic scheduler worker sweep")
 		jsonOut    = flag.String("json", "", "write a machine-readable BENCH_<stamp>.json to this file or directory")
 		check      = flag.Bool("check", false, "compare two BENCH_*.json files (old new) and fail on regressions")
 		tolerance  = flag.Float64("tolerance", 10, "allowed wall-time / traversed-arc growth for -check, in percent")
@@ -142,6 +144,10 @@ func main() {
 	}
 	if *all || *approxExp {
 		run("approx", approxExperiment)
+		ran = true
+	}
+	if *all || *sched {
+		run("scheduler", schedulerExperiment)
 		ran = true
 	}
 	if !ran {

@@ -17,6 +17,32 @@ import (
 // Unreached marks vertices not reached by a traversal.
 const Unreached = int32(-1)
 
+// HybridAlpha and HybridBeta are the direction-optimizing switch parameters
+// of Beamer et al. [33]: go bottom-up when the frontier's out-edge volume
+// exceeds 1/HybridAlpha of the unexplored edge volume, and back top-down once
+// the frontier shrinks below 1/HybridBeta of the vertex count.
+const (
+	HybridAlpha = 14
+	HybridBeta  = 24
+)
+
+// DefaultBottomUpFrac is the frontier/unvisited vertex-ratio threshold the
+// σ-BFS sweeps (internal/core) use when Options.BottomUpFrac is unset. It is
+// the vertex-count analogue of the HybridAlpha edge-volume rule — cheaper to
+// evaluate inside the per-root sweep, where frontier edge volumes would have
+// to be re-summed every level for every root.
+const DefaultBottomUpFrac = 1.0 / HybridAlpha
+
+// ShouldBottomUp is the shared vertex-ratio heuristic: switch to a bottom-up
+// sweep when the frontier holds more than frac of the still-unvisited
+// vertices. frac <= 0 disables bottom-up entirely.
+func ShouldBottomUp(frontier, unvisited int, frac float64) bool {
+	if frac <= 0 || unvisited <= 0 {
+		return false
+	}
+	return float64(frontier) > frac*float64(unvisited)
+}
+
 // Distances returns BFS distances from s over out-arcs; unreached vertices
 // get Unreached.
 func Distances(g *graph.Graph, s graph.V) []int32 {
@@ -112,9 +138,9 @@ func ParallelDistances(g *graph.Graph, s graph.V, workers int) []int32 {
 // frontier is small, switching to bottom-up (every unvisited vertex scans its
 // in-neighbors for a frontier member) when the frontier's out-edge volume
 // exceeds alpha-th of the unexplored edge volume, and back once the frontier
-// shrinks. Parameters follow Beamer et al.'s alpha=14, beta=24.
+// shrinks. Parameters follow Beamer et al.'s HybridAlpha/HybridBeta.
 func HybridDistances(g *graph.Graph, s graph.V, workers int) []int32 {
-	const alpha, beta = 14, 24
+	const alpha, beta = HybridAlpha, HybridBeta
 	n := g.NumVertices()
 	p := par.Workers(workers)
 	g.EnsureTranspose()

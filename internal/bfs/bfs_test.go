@@ -112,6 +112,73 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestNineFamiliesAllVariants runs ParallelDistances and HybridDistances
+// against serial Distances on the nine graph families the repo's equivalence
+// suites use everywhere (see internal/approx), plus directed and disconnected
+// inputs, at several worker counts and sources.
+func TestNineFamiliesAllVariants(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"path":     gen.Path(20),
+		"star":     gen.Star(20),
+		"lollipop": gen.Lollipop(6, 10),
+		"tree":     gen.Tree(50, 1),
+		"caveman":  gen.Caveman(4, 6, false),
+		"grid":     gen.Grid2D(6, 6),
+		"social": gen.SocialLike(gen.SocialParams{
+			N: 400, AvgDeg: 5, Communities: 6, TopShare: 0.5, LeafFrac: 0.3, Seed: 1}),
+		"socialDir": gen.SocialLike(gen.SocialParams{
+			N: 400, AvgDeg: 5, Communities: 6, TopShare: 0.5, LeafFrac: 0.3,
+			Directed: true, Reciprocity: 0.5, Seed: 2}),
+		"er": gen.ErdosRenyi(300, 900, false, 7),
+		// Beyond the nine: a sparse directed graph with unreachable regions
+		// and an explicitly disconnected graph (two components + isolated
+		// vertices), both of which exercise the Unreached handling in the
+		// bottom-up branch.
+		"erDir": gen.ErdosRenyi(200, 400, true, 9),
+		"disconnected": graph.NewFromEdges(12, []graph.Edge{
+			{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+			{From: 4, To: 5}, {From: 5, To: 6}, {From: 6, To: 7}, {From: 7, To: 4},
+		}, false),
+	}
+	for name, g := range families {
+		n := g.NumVertices()
+		for _, s := range []graph.V{0, graph.V(n / 2), graph.V(n - 1)} {
+			want := Distances(g, s)
+			for _, p := range []int{1, 2, 4, 8} {
+				if got := ParallelDistances(g, s, p); !sameDist(got, want) {
+					t.Fatalf("%s src %d workers %d: ParallelDistances differs", name, s, p)
+				}
+				if got := HybridDistances(g, s, p); !sameDist(got, want) {
+					t.Fatalf("%s src %d workers %d: HybridDistances differs", name, s, p)
+				}
+			}
+		}
+	}
+}
+
+// TestShouldBottomUp pins the shared vertex-ratio heuristic contract.
+func TestShouldBottomUp(t *testing.T) {
+	if ShouldBottomUp(10, 100, 0) {
+		t.Fatal("frac 0 must disable bottom-up")
+	}
+	if ShouldBottomUp(10, 100, -1) {
+		t.Fatal("negative frac must disable bottom-up")
+	}
+	if ShouldBottomUp(5, 0, DefaultBottomUpFrac) {
+		t.Fatal("no unvisited vertices: nothing to sweep bottom-up")
+	}
+	if !ShouldBottomUp(20, 100, DefaultBottomUpFrac) {
+		t.Fatal("20 of 100 unvisited exceeds 1/14")
+	}
+	if ShouldBottomUp(5, 100, DefaultBottomUpFrac) {
+		t.Fatal("5 of 100 unvisited is below 1/14")
+	}
+	// Boundary: strictly greater-than, not >=.
+	if ShouldBottomUp(25, 100, 0.25) {
+		t.Fatal("exactly frac*unvisited must stay top-down")
+	}
+}
+
 func TestHybridDense(t *testing.T) {
 	// A dense graph forces the bottom-up branch.
 	g := gen.Complete(200)

@@ -86,6 +86,16 @@ func (b *Bitset) ForEach(fn func(i int)) {
 	}
 }
 
+// NumWords returns the number of 64-bit words backing the set. Together with
+// Word it lets traversals iterate word-granular — e.g. a bottom-up BFS sweep
+// claiming one word of unvisited vertices per worker so plain (non-atomic)
+// Set calls on that word are race-free.
+func (b *Bitset) NumWords() int { return len(b.words) }
+
+// Word returns the wi-th backing word; bit k of Word(wi) is member wi*64+k.
+// Bits at or beyond Len() are always zero.
+func (b *Bitset) Word(wi int) uint64 { return b.words[wi] }
+
 // Union sets b = b ∪ other. Both sets must have the same capacity.
 func (b *Bitset) Union(other *Bitset) {
 	for i := range b.words {

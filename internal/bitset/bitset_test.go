@@ -137,6 +137,49 @@ func TestQuickModel(t *testing.T) {
 	}
 }
 
+func TestWordAccess(t *testing.T) {
+	b := New(130)
+	if got := b.NumWords(); got != 3 {
+		t.Fatalf("NumWords = %d, want 3", got)
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	if got := b.Word(0); got != 1|1<<63 {
+		t.Fatalf("Word(0) = %#x", got)
+	}
+	if got := b.Word(1); got != 1 {
+		t.Fatalf("Word(1) = %#x", got)
+	}
+	if got := b.Word(2); got != 1<<1 {
+		t.Fatalf("Word(2) = %#x", got)
+	}
+	// Reconstructing membership from words must agree with ForEach.
+	var fromWords []int
+	for wi := 0; wi < b.NumWords(); wi++ {
+		w := b.Word(wi)
+		for k := 0; k < 64; k++ {
+			if w&(1<<uint(k)) != 0 {
+				fromWords = append(fromWords, wi*64+k)
+			}
+		}
+	}
+	var fromEach []int
+	b.ForEach(func(i int) { fromEach = append(fromEach, i) })
+	if len(fromWords) != len(fromEach) {
+		t.Fatalf("word scan found %d members, ForEach %d", len(fromWords), len(fromEach))
+	}
+	for i := range fromEach {
+		if fromWords[i] != fromEach[i] {
+			t.Fatalf("word scan[%d] = %d, ForEach %d", i, fromWords[i], fromEach[i])
+		}
+	}
+	if New(0).NumWords() != 0 {
+		t.Fatal("zero-capacity set has backing words")
+	}
+}
+
 func TestZeroCapacity(t *testing.T) {
 	b := New(0)
 	if b.Count() != 0 || b.Len() != 0 {

@@ -48,6 +48,35 @@ const (
 	StrategyCoarseOnly
 )
 
+// Scheduler selects how sub-graph work is distributed over workers.
+type Scheduler int
+
+const (
+	// SchedulerDynamic is the default: one cost-ordered queue of
+	// (sub-graph, root-range) work units, estimated at |roots|·(|V|+|E|)
+	// each, drained by a fixed worker pool with per-worker scratch. Large
+	// sub-graphs are chunked into root ranges so they fan out across workers
+	// without a barrier separating them from the small sub-graphs.
+	SchedulerDynamic Scheduler = iota
+	// SchedulerStatic is the legacy two-phase scheme (fine-grained phase A
+	// over large sub-graphs, then coarse-grained phase B), kept for A/B
+	// benchmarking. StrategyFineOnly always uses it — the level-synchronous
+	// engine is phase A.
+	SchedulerStatic
+)
+
+// String returns the scheduler name used in benchmark record keys.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerDynamic:
+		return "dynamic"
+	case SchedulerStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int(s))
+	}
+}
+
 // Options configures Compute.
 type Options struct {
 	// Workers bounds goroutine parallelism; <= 0 means GOMAXPROCS.
@@ -60,9 +89,19 @@ type Options struct {
 	DisableGamma bool
 	// Strategy selects the parallelization scheme.
 	Strategy Strategy
+	// Scheduler selects the work-distribution scheme; the zero value is
+	// SchedulerDynamic.
+	Scheduler Scheduler
 	// FineCutoff is the vertex count at or above which a sub-graph uses
 	// fine-grained parallelism under StrategyTwoLevel; <= 0 means 2048.
+	// The dynamic scheduler uses the same cutoff only to attribute time to
+	// Breakdown.TopBC vs RestBC.
 	FineCutoff int
+	// BottomUpFrac tunes the direction-optimizing σ-BFS: a level goes
+	// bottom-up when its frontier exceeds this fraction of the unvisited
+	// vertices. 0 means bfs.DefaultBottomUpFrac; negative disables bottom-up
+	// sweeps. Either setting yields bit-identical BC (see serialState).
+	BottomUpFrac float64
 	// Breakdown, when non-nil, receives phase timings and work counters
 	// (Figure 8's execution-time breakdown).
 	Breakdown *Breakdown
@@ -134,6 +173,16 @@ func ComputeDecomposed(d *decompose.Decomposition, opt Options) ([]float64, erro
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", opt.Strategy)
 	}
+	switch opt.Scheduler {
+	case SchedulerDynamic, SchedulerStatic:
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %d", opt.Scheduler)
+	}
+	// StrategyFineOnly is inherently phase-structured (one level-synchronous
+	// sub-graph at a time), so it always takes the static path.
+	if opt.Scheduler == SchedulerDynamic && opt.Strategy != StrategyFineOnly {
+		return computeDynamic(d, opt, p, cutoff, bc)
+	}
 	var big, small []*decompose.Subgraph
 	switch opt.Strategy {
 	case StrategyTwoLevel:
@@ -160,6 +209,8 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 	big, small []*decompose.Subgraph, p int, bc []float64) ([]float64, error) {
 	g := d.G
 	directed := g.Directed()
+	frac := resolveFrac(opt.BottomUpFrac)
+	prepareHybrid(d, frac)
 	var traversed, roots int64
 
 	// Phase A: large sub-graphs. With several workers this is the paper's
@@ -173,7 +224,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 		n := sg.NumVerts()
 		if p == 1 {
 			if serialBig == nil {
-				serialBig = &serialState{}
+				serialBig = &serialState{hybridFrac: frac}
 			}
 			serialBig.ensure(n)
 			for _, s := range sg.Roots {
@@ -190,6 +241,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 			// and the post-flush zeroing keeps it clean for the next one.
 			if fineBig == nil {
 				fineBig = newFineState(p)
+				fineBig.hybridFrac = frac
 			}
 			fineBig.ensure(n)
 			for _, s := range sg.Roots {
@@ -213,7 +265,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 	par.ForWorker(len(small), p, 1, func(w, i int) {
 		st := scratches[w]
 		if st == nil {
-			st = &serialState{}
+			st = &serialState{hybridFrac: frac}
 			scratches[w] = st
 		}
 		sg := small[i]

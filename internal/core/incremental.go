@@ -119,6 +119,10 @@ func (inc *Incremental) rebuild() error {
 func (inc *Incremental) recompute(si int) error {
 	sg := inc.d.Subgraphs[si]
 	st := &serialState{}
+	if sg.NumVerts() >= hybridMinVerts {
+		sg.EnsureIn()
+		st.hybridFrac = resolveFrac(inc.opt.BottomUpFrac)
+	}
 	st.ensure(sg.NumVerts())
 	for _, s := range sg.Roots {
 		st.runRoot(sg, s, inc.directed)

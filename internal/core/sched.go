@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/decompose"
+	"repro/internal/par"
+)
+
+// The dynamic scheduler replaces the legacy phase-A/phase-B split with one
+// cost-ordered queue of (sub-graph, root-range) work units. Each unit's cost
+// is estimated as |roots|·(|V_i|+|E_i|) — the Brandes work bound for its
+// slice of the sub-graph — and the queue is drained largest-first by a fixed
+// worker pool (par.ForWorker with grain 1: atomic-counter claiming, the
+// work-stealing analogue). Large sub-graphs are split into several root
+// ranges so they fan out across workers, and because everything lives in one
+// queue there is no barrier holding small sub-graphs back while the top
+// sub-graph finishes.
+//
+// Determinism: at p == 1 units are whole sub-graphs processed in index order
+// with direct flushes — exactly the legacy coarse serial path (what
+// RootSweep/approx replay bit-for-bit). At p > 1 each unit accumulates into
+// a private partial array and the partials are merged sequentially in
+// (sub-graph index, root-range) order after the drain, so the result is a
+// deterministic function of (graph, options) regardless of worker
+// interleaving. Only articulation points are shared between sub-graphs, so
+// the extra memory is one float64 slice per unit, Σ|V_i| overall.
+
+// unitsPerWorkerTarget controls chunking: a sub-graph is split so that no
+// unit exceeds ~1/(unitsPerWorkerTarget·p) of the total estimated work,
+// giving the pool a few claimable pieces per worker without shredding the
+// queue into scheduling overhead.
+const unitsPerWorkerTarget = 4
+
+type workUnit struct {
+	sg      *decompose.Subgraph
+	sgIdx   int
+	lo, hi  int // root range [lo, hi) into sg.Roots
+	big     bool
+	cost    int64
+	partial []float64
+	dur     time.Duration
+}
+
+// rootEngine is the per-worker sweep engine the scheduler drives: the serial
+// unweighted four-dependency engine (serialState) and its Dijkstra analogue
+// (weightedState) both implement it.
+type rootEngine interface {
+	ensure(n int)
+	runRoot(sg *decompose.Subgraph, s int32, directed bool)
+	local() []float64     // per-sub-graph BC accumulation buffer
+	takeTraversed() int64 // drain the traversed-arc counter
+}
+
+func (st *serialState) local() []float64 { return st.bcLocal }
+
+func (st *serialState) takeTraversed() int64 {
+	t := st.traversed
+	st.traversed = 0
+	return t
+}
+
+func (st *weightedState) local() []float64 { return st.bcLocal }
+
+func (st *weightedState) takeTraversed() int64 {
+	t := st.traversed
+	st.traversed = 0
+	return t
+}
+
+// prepareHybrid builds the in-CSR of every sub-graph large enough for the
+// direction-optimizing sweep. No-op when bottom-up is disabled.
+func prepareHybrid(d *decompose.Decomposition, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	for _, sg := range d.Subgraphs {
+		if sg.NumVerts() >= hybridMinVerts {
+			sg.EnsureIn()
+		}
+	}
+}
+
+// buildUnits constructs the work-unit list in canonical (sgIdx, root-range)
+// order. chunking splits costly sub-graphs into root ranges sized so the
+// queue holds a few units per worker; otherwise every unit is a whole
+// sub-graph. cutoff classifies units as "big" for Breakdown attribution.
+func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking bool) []workUnit {
+	var total int64
+	costs := make([]int64, len(d.Subgraphs))
+	for i, sg := range d.Subgraphs {
+		costs[i] = int64(len(sg.Roots)) * (int64(sg.NumVerts()) + sg.NumArcs())
+		total += costs[i]
+	}
+	var units []workUnit
+	for i, sg := range d.Subgraphs {
+		nr := len(sg.Roots)
+		if nr == 0 {
+			continue
+		}
+		chunks := 1
+		if chunking {
+			if target := total / int64(unitsPerWorkerTarget*p); target > 0 {
+				chunks = int(costs[i] / target)
+			}
+			if chunks < 1 {
+				chunks = 1
+			}
+			if chunks > nr {
+				chunks = nr
+			}
+		}
+		per := (nr + chunks - 1) / chunks
+		big := i == d.TopIndex || sg.NumVerts() >= cutoff
+		perRoot := costs[i] / int64(nr)
+		for lo := 0; lo < nr; lo += per {
+			hi := lo + per
+			if hi > nr {
+				hi = nr
+			}
+			units = append(units, workUnit{
+				sg: sg, sgIdx: i, lo: lo, hi: hi, big: big,
+				cost: perRoot * int64(hi-lo),
+			})
+		}
+	}
+	return units
+}
+
+// drainUnits runs every unit and merges results into bc deterministically
+// (see the package comment above). newEngine constructs one per-worker
+// engine; returns the total traversed-arc count.
+func drainUnits(units []workUnit, p int, directed bool, newEngine func() rootEngine, bc []float64) int64 {
+	runUnit := func(st rootEngine, u *workUnit) {
+		n := u.sg.NumVerts()
+		st.ensure(n)
+		t0 := time.Now()
+		for _, s := range u.sg.Roots[u.lo:u.hi] {
+			st.runRoot(u.sg, s, directed)
+		}
+		u.dur = time.Since(t0)
+	}
+	if p <= 1 || len(units) < 2 {
+		st := newEngine()
+		for i := range units {
+			u := &units[i]
+			runUnit(st, u)
+			loc := st.local()[:u.sg.NumVerts()]
+			flushLocal(bc, u.sg, loc)
+			for l := range loc {
+				loc[l] = 0
+			}
+		}
+		return st.takeTraversed()
+	}
+	// Drain order: descending cost, ties broken by canonical order so the
+	// queue itself is deterministic.
+	queue := make([]int, len(units))
+	for i := range queue {
+		queue[i] = i
+	}
+	sort.Slice(queue, func(a, b int) bool {
+		ua, ub := &units[queue[a]], &units[queue[b]]
+		if ua.cost != ub.cost {
+			return ua.cost > ub.cost
+		}
+		if ua.sgIdx != ub.sgIdx {
+			return ua.sgIdx < ub.sgIdx
+		}
+		return ua.lo < ub.lo
+	})
+	engines := make([]rootEngine, p)
+	par.ForWorker(len(queue), p, 1, func(w, qi int) {
+		u := &units[queue[qi]]
+		st := engines[w]
+		if st == nil {
+			st = newEngine()
+			engines[w] = st
+		}
+		runUnit(st, u)
+		loc := st.local()[:u.sg.NumVerts()]
+		u.partial = make([]float64, len(loc))
+		copy(u.partial, loc)
+		for l := range loc {
+			loc[l] = 0
+		}
+	})
+	// Deterministic merge: canonical (sgIdx, lo) order.
+	for i := range units {
+		flushLocal(bc, units[i].sg, units[i].partial)
+		units[i].partial = nil
+	}
+	var traversed int64
+	for _, st := range engines {
+		if st != nil {
+			traversed += st.takeTraversed()
+		}
+	}
+	return traversed
+}
+
+// computeDynamic runs the unweighted BC phase with the dynamic unit
+// scheduler, accumulating into bc.
+func computeDynamic(d *decompose.Decomposition, opt Options, p, cutoff int, bc []float64) ([]float64, error) {
+	directed := d.G.Directed()
+	frac := resolveFrac(opt.BottomUpFrac)
+	start := time.Now()
+	prepareHybrid(d, frac)
+	// StrategyCoarseOnly promises serial whole-sub-graph processing, so only
+	// StrategyTwoLevel chunks root ranges.
+	units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel)
+	traversed := drainUnits(units, p, directed, func() rootEngine {
+		return &serialState{hybridFrac: frac}
+	}, bc)
+	wall := time.Since(start)
+
+	if opt.Breakdown != nil {
+		fillDynamicBreakdown(opt.Breakdown, d, units, wall, traversed)
+	}
+	return bc, nil
+}
+
+// fillDynamicBreakdown populates bd from a finished drain. Per-unit
+// durations overlap at p > 1, so the measured wall time is attributed
+// proportionally to the big/small duration shares; TopBC + RestBC == wall
+// exactly, keeping the Breakdown sum invariant the tests pin.
+func fillDynamicBreakdown(bd *Breakdown, d *decompose.Decomposition, units []workUnit, wall time.Duration, traversed int64) {
+	var bigDur, allDur time.Duration
+	var roots int64
+	for i := range units {
+		allDur += units[i].dur
+		if units[i].big {
+			bigDur += units[i].dur
+		}
+		roots += int64(units[i].hi - units[i].lo)
+	}
+	var top time.Duration
+	if allDur > 0 {
+		top = time.Duration(float64(wall) * float64(bigDur) / float64(allDur))
+	}
+	bd.TopBC = top
+	bd.RestBC = wall - top
+	bd.Total = bd.Partition + bd.AlphaBeta + wall
+	bd.TraversedArcs = traversed
+	bd.Roots = roots
+	bd.Subgraphs = len(d.Subgraphs)
+	bd.Articulations = d.NumArticulation
+}

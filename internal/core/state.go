@@ -1,14 +1,47 @@
 package core
 
 import (
+	"math/bits"
 	"sync/atomic"
 
+	"repro/internal/bfs"
 	"repro/internal/bitset"
 	"repro/internal/decompose"
 	"repro/internal/par"
 )
 
 func atomicAddFloat64(addr *float64, delta float64) { par.AddFloat64(addr, delta) }
+
+// hybridMinVerts gates the direction-optimizing σ-BFS: below this size the
+// bottom-up word scan costs more than it saves, and the transpose CSR is not
+// worth building. Callers that want the hybrid sweep call sg.EnsureIn() for
+// sub-graphs at or above this size; runRoot goes bottom-up only when the
+// in-CSR is present AND hybridFrac is positive.
+const hybridMinVerts = 256
+
+// resolveFrac maps Options.BottomUpFrac to the effective threshold: 0 means
+// the shared default, negative disables bottom-up sweeps entirely.
+func resolveFrac(f float64) float64 {
+	switch {
+	case f == 0:
+		return bfs.DefaultBottomUpFrac
+	case f < 0:
+		return 0
+	default:
+		return f
+	}
+}
+
+// unvisitedWord returns the complement of the visited word wi restricted to
+// valid vertex ids below n; base is wi*64.
+func unvisitedWord(visited *bitset.Bitset, wi, n int) (word uint64, base int) {
+	base = wi << 6
+	word = ^visited.Word(wi)
+	if rem := n - base; rem < 64 {
+		word &= ^uint64(0) >> (64 - uint(rem))
+	}
+	return word, base
+}
 
 // The four-dependency backward step is identical in the serial and parallel
 // engines: each DAG vertex pulls from its successors (out-neighbours one
@@ -30,6 +63,18 @@ type serialState struct {
 	order     []int32
 	bcLocal   []float64
 	traversed int64
+
+	// hybridFrac > 0 enables the direction-optimizing forward sweep: a level
+	// whose frontier exceeds hybridFrac of the still-unvisited vertices runs
+	// bottom-up over the visited bitset's complement (scanning in-arcs via
+	// sg.In), the rest run top-down. Requires the sub-graph's in-CSR
+	// (sg.EnsureIn); without it the sweep stays top-down. Either mode yields
+	// bit-identical output: σ path counts are integer-valued (exact float64
+	// sums, order-independent), dist is mode-independent, and the backward
+	// phase only needs `order` grouped by non-decreasing level — within-level
+	// permutations cannot change any value it computes.
+	hybridFrac float64
+	visited    *bitset.Bitset
 }
 
 // ensure sizes the scratch for a sub-graph of n local vertices, preserving
@@ -48,32 +93,70 @@ func (st *serialState) ensure(n int) {
 	st.di2o = make([]float64, n)
 	st.do2o = make([]float64, n)
 	st.bcLocal = make([]float64, n)
+	st.visited = bitset.New(n)
 }
 
-// runRoot executes Algorithm 2 for one root s of sg: forward σ BFS, then the
-// backward four-dependency accumulation and BC merge (Eq. 7).
+// runRoot executes Algorithm 2 for one root s of sg: forward σ BFS (direction
+// optimizing when enabled), then the backward four-dependency accumulation
+// and BC merge (Eq. 7).
 func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 	dist, sigma := st.dist, st.sigma
 	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	n := sg.NumVerts()
+	hybrid := st.hybridFrac > 0 && sg.HasIn()
 
-	// Phase 1: forward BFS counting shortest paths.
+	// Phase 1: forward BFS counting shortest paths, level by level. order is
+	// grouped by level (non-decreasing dist), which is all phase 2 needs.
 	st.order = append(st.order[:0], s)
 	dist[s] = 0
 	sigma[s] = 1
-	for head := 0; head < len(st.order); head++ {
-		u := st.order[head]
-		out := sg.Out(u)
-		st.traversed += int64(len(out))
-		du1 := dist[u] + 1
-		for _, w := range out {
-			if dist[w] < 0 {
-				dist[w] = du1
-				st.order = append(st.order, w)
+	if hybrid {
+		st.visited.Set(int(s))
+	}
+	for d, lo, hi := int32(1), 0, 1; lo < hi; d++ {
+		if hybrid && bfs.ShouldBottomUp(hi-lo, n-hi, st.hybridFrac) {
+			// Bottom-up: every unvisited vertex scans its in-arcs for parents
+			// one level up; σ is the sum over all such parents — the same
+			// integer sum top-down accumulates edge by edge.
+			for wi := 0; wi<<6 < n; wi++ {
+				word, base := unvisitedWord(st.visited, wi, n)
+				for word != 0 {
+					tz := bits.TrailingZeros64(word)
+					word &= word - 1
+					v := int32(base + tz)
+					var sv float64
+					for _, u := range sg.In(v) {
+						if dist[u] == d-1 {
+							sv += sigma[u]
+						}
+					}
+					if sv != 0 {
+						dist[v] = d
+						sigma[v] = sv
+						st.visited.Set(int(v))
+						st.order = append(st.order, v)
+					}
+				}
 			}
-			if dist[w] == du1 {
-				sigma[w] += sigma[u]
+		} else {
+			for i := lo; i < hi; i++ {
+				u := st.order[i]
+				du1 := dist[u] + 1
+				for _, w := range sg.Out(u) {
+					if dist[w] < 0 {
+						dist[w] = du1
+						if hybrid {
+							st.visited.Set(int(w))
+						}
+						st.order = append(st.order, w)
+					}
+					if dist[w] == du1 {
+						sigma[w] += sigma[u]
+					}
+				}
 			}
 		}
+		lo, hi = hi, len(st.order)
 	}
 
 	// Phase 2: backward accumulation in reverse BFS order.
@@ -130,10 +213,19 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 		}
 	}
 
-	// Sparse reset: only dist and sigma carry state across roots.
+	// Sparse reset: only dist, sigma and visited carry state across roots.
+	// traversed keeps its pre-hybrid definition — Σ outdeg over visited
+	// vertices (what a pure top-down sweep examines) — so the work metric
+	// stays comparable across scheduler and sweep-mode choices.
 	for _, v := range st.order {
+		st.traversed += int64(len(sg.Out(v)))
 		dist[v] = -1
 		sigma[v] = 0
+	}
+	if hybrid {
+		for _, v := range st.order {
+			st.visited.Clear(int(v))
+		}
 	}
 }
 
@@ -154,6 +246,15 @@ type fineState struct {
 	bag       *par.Bag[int32]
 	bcLocal   []float64
 	traversed int64
+
+	// hybridFrac mirrors serialState.hybridFrac: the vertex-ratio threshold
+	// for switching a level to a bottom-up sweep (0 disables). The parallel
+	// bottom-up partitions unvisited vertices by 64-bit bitset word, so each
+	// worker owns its words' visited bits and dist/σ writes; dist is still
+	// read/written atomically because in-neighbors may be claimed at the
+	// current level concurrently (the claimed value d never equals d-1, so
+	// the parent test is unaffected).
+	hybridFrac float64
 }
 
 func newFineState(p int) *fineState {
@@ -185,35 +286,66 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 	p := st.p
 	dist, sigma := st.dist, st.sigma
 	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	n := sg.NumVerts()
+	hybrid := st.hybridFrac > 0 && sg.HasIn()
 
-	// Phase 1: level-synchronous parallel forward BFS.
+	// Phase 1: level-synchronous parallel forward BFS, direction-optimizing
+	// when enabled (see hybridFrac). Bucket contents are unordered within a
+	// level; phase 2 only does owned per-vertex writes, so order is free.
 	st.buckets = st.buckets[:0]
 	dist[s] = 0
 	sigma[s] = 1
 	st.visited.Set(int(s))
 	st.buckets = append(st.buckets, []int32{s})
 	frontier := st.buckets[0]
+	discovered := 1
 	for d := int32(1); len(frontier) > 0; d++ {
-		par.ForWorker(len(frontier), p, 0, func(w, i int) {
-			u := frontier[i]
-			su := sigma[u]
-			for _, v := range sg.Out(u) {
-				if st.visited.TrySet(int(v)) {
-					atomic.StoreInt32(&dist[v], d)
-					st.bag.Add(w, v)
-					atomicAddFloat64(&sigma[v], su)
-					continue
+		if hybrid && bfs.ShouldBottomUp(len(frontier), n-discovered, st.hybridFrac) {
+			// Bottom-up, one visited-bitset word per index: the word owner is
+			// the only writer of its bits and of dist/σ for its vertices.
+			par.ForWorker((n+63)/64, p, 0, func(w, wi int) {
+				word, base := unvisitedWord(st.visited, wi, n)
+				for word != 0 {
+					tz := bits.TrailingZeros64(word)
+					word &= word - 1
+					v := int32(base + tz)
+					var sv float64
+					for _, u := range sg.In(v) {
+						if atomic.LoadInt32(&dist[u]) == d-1 {
+							sv += sigma[u]
+						}
+					}
+					if sv != 0 {
+						atomic.StoreInt32(&dist[v], d)
+						sigma[v] = sv
+						st.visited.Set(int(v))
+						st.bag.Add(w, v)
+					}
 				}
-				// A negative distance on a claimed vertex means the claim
-				// happened during this level: v is at level d either way.
-				if dv := atomic.LoadInt32(&dist[v]); dv == d || dv < 0 {
-					atomicAddFloat64(&sigma[v], su)
+			})
+		} else {
+			par.ForWorker(len(frontier), p, 0, func(w, i int) {
+				u := frontier[i]
+				su := sigma[u]
+				for _, v := range sg.Out(u) {
+					if st.visited.TrySet(int(v)) {
+						atomic.StoreInt32(&dist[v], d)
+						st.bag.Add(w, v)
+						atomicAddFloat64(&sigma[v], su)
+						continue
+					}
+					// A negative distance on a claimed vertex means the claim
+					// happened during this level: v is at level d either way.
+					if dv := atomic.LoadInt32(&dist[v]); dv == d || dv < 0 {
+						atomicAddFloat64(&sigma[v], su)
+					}
 				}
-			}
-		})
+			})
+		}
 		next := st.bag.Drain(nil)
 		st.buckets = append(st.buckets, next)
 		frontier = next
+		discovered += len(next)
 	}
 
 	// Phase 2: backward sweep, one level at a time, owned writes only.

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/decompose"
+import (
+	"repro/internal/bfs"
+	"repro/internal/decompose"
+)
 
 // RootSweep exposes the serial four-dependency engine (state.go) one root at
 // a time, so samplers outside this package — internal/approx's per-sub-graph
@@ -20,8 +23,17 @@ type RootSweep struct {
 // Run executes Algorithm 2 for one root of sg (forward σ BFS plus the
 // backward four-dependency accumulation with the α/β/γ boundary terms),
 // adding the root's contribution into the sweep's local score buffer. The
-// scratch grows on demand and is reusable across sub-graphs.
+// scratch grows on demand and is reusable across sub-graphs. Large
+// sub-graphs get the same direction-optimizing sweep as the exact engine —
+// a per-level mode choice that is bit-neutral (see serialState.hybridFrac),
+// so the bit-for-bit replay guarantee is unaffected.
 func (rs *RootSweep) Run(sg *decompose.Subgraph, root int32, directed bool) {
+	if sg.NumVerts() >= hybridMinVerts {
+		sg.EnsureIn()
+		rs.st.hybridFrac = bfs.DefaultBottomUpFrac
+	} else {
+		rs.st.hybridFrac = 0
+	}
 	rs.st.ensure(sg.NumVerts())
 	rs.st.runRoot(sg, root, directed)
 }

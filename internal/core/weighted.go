@@ -58,7 +58,35 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 	if cutoff <= 0 {
 		cutoff = 2048
 	}
+	switch opt.Scheduler {
+	case SchedulerDynamic, SchedulerStatic:
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %d", opt.Scheduler)
+	}
 	start := time.Now()
+	if opt.Scheduler == SchedulerDynamic && opt.Strategy != StrategyFineOnly {
+		// Unified cost-ordered unit scheduler with Dijkstra engines: same
+		// queue, chunking and deterministic merge as the unweighted path
+		// (sched.go); Dijkstra replaces the σ-BFS inside runRoot.
+		units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel)
+		traversed = drainUnits(units, p, directed, func() rootEngine {
+			return &weightedState{}
+		}, bc)
+		for i := range units {
+			roots += int64(units[i].hi - units[i].lo)
+		}
+		if opt.Breakdown != nil {
+			opt.Breakdown.Partition = tm.Partition
+			opt.Breakdown.AlphaBeta = tm.AlphaBeta
+			opt.Breakdown.RestBC = time.Since(start)
+			opt.Breakdown.Total = tm.Partition + tm.AlphaBeta + opt.Breakdown.RestBC
+			opt.Breakdown.TraversedArcs = traversed
+			opt.Breakdown.Roots = roots
+			opt.Breakdown.Subgraphs = len(d.Subgraphs)
+			opt.Breakdown.Articulations = d.NumArticulation
+		}
+		return bc, nil
+	}
 	var big, small []*decompose.Subgraph
 	for i, sg := range d.Subgraphs {
 		if p > 1 && opt.Strategy != StrategyCoarseOnly &&

@@ -20,6 +20,7 @@ package decompose
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bcc"
@@ -98,7 +99,16 @@ type Subgraph struct {
 	// removal).
 	Roots []int32
 
+	directed bool // whether the parent graph is directed
+
 	asGraph *graph.Graph // lazy AsGraph cache
+
+	// Lazy transpose CSR for bottom-up sweeps; built by EnsureIn. For
+	// undirected parents the arc set is symmetric, so the in-CSR aliases the
+	// out-CSR instead of being materialized.
+	inOnce sync.Once
+	inOffs []int64
+	inAdj  []int32
 }
 
 // NumVerts returns the number of local vertices.
@@ -121,6 +131,47 @@ func (s *Subgraph) OutWeights(l int32) []float64 {
 
 // Weighted reports whether the sub-graph carries arc weights.
 func (s *Subgraph) Weighted() bool { return s.wts != nil }
+
+// Directed reports whether the parent graph was directed.
+func (s *Subgraph) Directed() bool { return s.directed }
+
+// EnsureIn builds the in-arc (transpose) CSR if it is not present yet, so
+// that In can be called. For undirected parents the out-CSR is already
+// symmetric and is aliased instead of copied. Safe for concurrent callers;
+// concurrent with a MutateEdge it is not (same contract as every other
+// accessor).
+func (s *Subgraph) EnsureIn() {
+	s.inOnce.Do(func() {
+		if !s.directed {
+			s.inOffs, s.inAdj = s.offs, s.adj
+			return
+		}
+		nl := len(s.Verts)
+		offs := make([]int64, nl+1)
+		for _, v := range s.adj {
+			offs[v+1]++
+		}
+		for i := 0; i < nl; i++ {
+			offs[i+1] += offs[i]
+		}
+		adj := make([]int32, len(s.adj))
+		cur := make([]int64, nl)
+		for u := int32(0); int(u) < nl; u++ {
+			for _, v := range s.Out(u) {
+				adj[offs[v]+cur[v]] = u
+				cur[v]++
+			}
+		}
+		s.inOffs, s.inAdj = offs, adj
+	})
+}
+
+// HasIn reports whether the in-CSR has been built (or aliased).
+func (s *Subgraph) HasIn() bool { return s.inOffs != nil }
+
+// In returns the local in-neighbors of local vertex l. EnsureIn must have
+// been called first.
+func (s *Subgraph) In(l int32) []int32 { return s.inAdj[s.inOffs[l]:s.inOffs[l+1]] }
 
 // AsGraph materializes the sub-graph as a standalone graph.Graph over local
 // ids (arcs reproduced exactly, so it is built "directed" even when the

@@ -505,3 +505,70 @@ func TestMutateEdgeRoundTrip(t *testing.T) {
 	}
 	t.Fatal("re-added arc missing")
 }
+
+// TestEnsureIn checks the lazy transpose CSR: on directed sub-graphs In(v)
+// must list exactly the sources of arcs into v (sorted), on undirected ones
+// it must alias the out-CSR, and MutateEdge must invalidate it.
+func TestEnsureIn(t *testing.T) {
+	dg := gen.ErdosRenyi(60, 180, true, 11)
+	d := mustDecompose(t, dg, Options{Threshold: 4})
+	for _, sg := range d.Subgraphs {
+		if sg.HasIn() {
+			t.Fatal("in-CSR present before EnsureIn")
+		}
+		if !sg.Directed() {
+			t.Fatal("directed flag lost")
+		}
+		sg.EnsureIn()
+		if !sg.HasIn() {
+			t.Fatal("in-CSR missing after EnsureIn")
+		}
+		// Model transpose from Out.
+		want := make(map[int32][]int32)
+		for u := int32(0); int(u) < sg.NumVerts(); u++ {
+			for _, v := range sg.Out(u) {
+				want[v] = append(want[v], u)
+			}
+		}
+		for v := int32(0); int(v) < sg.NumVerts(); v++ {
+			got := sg.In(v)
+			if len(got) != len(want[v]) {
+				t.Fatalf("In(%d) has %d arcs, want %d", v, len(got), len(want[v]))
+			}
+			for i, u := range want[v] {
+				if got[i] != u {
+					t.Fatalf("In(%d) = %v, want %v (sorted by source)", v, got, want[v])
+				}
+			}
+		}
+	}
+
+	ug := gen.Caveman(3, 5, false)
+	ud := mustDecompose(t, ug, Options{Threshold: 3})
+	sg := ud.Subgraphs[0]
+	sg.EnsureIn()
+	for v := int32(0); int(v) < sg.NumVerts(); v++ {
+		out, in := sg.Out(v), sg.In(v)
+		if len(out) != len(in) {
+			t.Fatalf("undirected In(%d) != Out(%d)", v, v)
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				t.Fatalf("undirected In(%d) = %v, want Out = %v", v, in, out)
+			}
+		}
+	}
+	lu, lv := int32(0), sg.Out(0)[0]
+	if err := sg.MutateEdge(false, lu, lv, false); err != nil {
+		t.Fatal(err)
+	}
+	if sg.HasIn() {
+		t.Fatal("MutateEdge left a stale in-CSR")
+	}
+	sg.EnsureIn()
+	for _, u := range sg.In(lv) {
+		if u == lu {
+			t.Fatal("stale arc in rebuilt in-CSR")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package decompose
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -82,6 +83,10 @@ func (s *Subgraph) MutateEdge(add bool, lu, lv int32, directed bool) error {
 		copy(newAdj[newOffs[i]:newOffs[i+1]], row)
 	}
 	s.offs, s.adj = newOffs, newAdj
+	// The lazy transpose (EnsureIn) mirrors the CSR just rebuilt; drop it so
+	// the next bottom-up sweep rebuilds it from the new arcs.
+	s.inOnce = sync.Once{}
+	s.inOffs, s.inAdj = nil, nil
 	return nil
 }
 

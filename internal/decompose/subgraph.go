@@ -70,7 +70,7 @@ func buildSubgraphs(d *Decomposition, g *graph.Graph, res *bcc.Result, blockGrou
 		w        float64
 	}
 	for gr := 0; gr < numGroups; gr++ {
-		sg := &Subgraph{ID: gr, Verts: groupVerts[gr]}
+		sg := &Subgraph{ID: gr, Verts: groupVerts[gr], directed: g.Directed()}
 		d.Subgraphs[gr] = sg
 		for i, v := range sg.Verts {
 			local[v] = int32(i)

@@ -72,15 +72,24 @@ type Record struct {
 	// Unsupported marks the paper's "-" cells (e.g. async on directed
 	// graphs); such records carry no timing.
 	Unsupported bool `json:"unsupported,omitempty"`
+	// Scheduler names the work-distribution scheme the cell ran under
+	// (core.Scheduler.String(): "dynamic", "static"). Empty for experiments
+	// that predate the scheduler option, keeping their keys stable.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
-// Key identifies a record for cross-document comparison. Approximate-mode
-// cells carry their pivot count so one graph's whole error-vs-speedup curve
-// stays addressable.
+// Key identifies a record for cross-document comparison. The worker count is
+// always part of the key (runs at different -workers never collide in -check),
+// approximate-mode cells carry their pivot count so one graph's whole
+// error-vs-speedup curve stays addressable, and scheduler-sweep cells carry
+// the scheduler name so static and dynamic measurements diff independently.
 func (r Record) Key() string {
 	key := fmt.Sprintf("%s/%s/%s/p=%d", r.Experiment, r.Graph, r.Algorithm, r.Workers)
 	if r.Pivots > 0 {
 		key += fmt.Sprintf("/k=%d", r.Pivots)
+	}
+	if r.Scheduler != "" {
+		key += "/s=" + r.Scheduler
 	}
 	return key
 }

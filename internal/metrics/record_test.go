@@ -162,6 +162,63 @@ func TestCompareMissing(t *testing.T) {
 	}
 }
 
+// TestKeyDistinguishesWorkersAndScheduler pins the key schema: records that
+// differ only in worker count or scheduler name must not collide, so -check
+// never diffs a 1-worker run against an 8-worker one or a static sweep cell
+// against its dynamic counterpart. Legacy records (no scheduler) keep the old
+// key shape so historical BENCH_*.json documents stay comparable.
+func TestKeyDistinguishesWorkersAndScheduler(t *testing.T) {
+	base := sampleRecord()
+	if want := "tables2-3/email-enron/apgre/p=4"; base.Key() != want {
+		t.Fatalf("legacy key changed: got %q want %q", base.Key(), want)
+	}
+
+	p8 := base
+	p8.Workers = 8
+	if base.Key() == p8.Key() {
+		t.Fatalf("worker counts collide: %q", base.Key())
+	}
+
+	dyn := base
+	dyn.Scheduler = "dynamic"
+	sta := base
+	sta.Scheduler = "static"
+	if dyn.Key() == sta.Key() || dyn.Key() == base.Key() {
+		t.Fatalf("scheduler names collide: dyn=%q sta=%q base=%q",
+			dyn.Key(), sta.Key(), base.Key())
+	}
+	if want := "tables2-3/email-enron/apgre/p=4/s=dynamic"; dyn.Key() != want {
+		t.Fatalf("scheduler key: got %q want %q", dyn.Key(), want)
+	}
+
+	// Pivots and scheduler compose in a fixed order.
+	both := dyn
+	both.Pivots = 64
+	if want := "tables2-3/email-enron/apgre/p=4/k=64/s=dynamic"; both.Key() != want {
+		t.Fatalf("composed key: got %q want %q", both.Key(), want)
+	}
+
+	// Compare treats different worker counts / schedulers as disjoint cells:
+	// a regression in one must not hide behind the other.
+	old := NewRecorder(0.25, 4)
+	old.Add(base)
+	old.Add(dyn)
+	oldDoc := old.Document()
+	newRec := NewRecorder(0.25, 4)
+	slow := dyn
+	slow.Wall *= 2
+	newRec.Add(base)
+	newRec.Add(slow)
+	newDoc := newRec.Document()
+	regs, missing := Compare(&oldDoc, &newDoc, 10)
+	if len(missing) != 0 {
+		t.Fatalf("unexpected coverage change: %v", missing)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Key, "/s=dynamic") {
+		t.Fatalf("scheduler cell regression not isolated: %v", regs)
+	}
+}
+
 // TestNilRecorder: a nil recorder is inert, so call sites don't branch.
 func TestNilRecorder(t *testing.T) {
 	var r *Recorder

@@ -21,13 +21,16 @@ func Workers(requested int) int {
 
 // For runs fn(i) for every i in [0, n) using p workers with contiguous static
 // chunking. fn must be safe to call concurrently for distinct i. When p == 1
-// or n is small the loop runs inline with no goroutines.
+// or the loop is small (fewer than ~4 iterations per worker) it runs inline
+// with no goroutines: spawning p goroutines for a handful of iterations costs
+// more than the iterations themselves, and before this clamp the chunk math
+// could degenerate to one goroutine per element for tiny n.
 func For(n, p int, fn func(i int)) {
 	p = Workers(p)
 	if p > n {
 		p = n
 	}
-	if p <= 1 || n < 2 {
+	if p <= 1 || n <= 4*p {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -104,12 +107,61 @@ func ForWorker(n, p, grain int, fn func(worker, i int)) int {
 	return p
 }
 
-// Dynamic runs fn(i) for i in [0, n) with dynamic (work-stealing-ish)
-// scheduling: workers grab chunks of the given grain from a shared counter.
-// Suitable for loops with very uneven per-iteration cost, e.g. the
-// coarse-grained sub-graph loop where one sub-graph dominates.
+// ForDynamic runs fn(i) for every i in [0, n) with dynamic chunked
+// scheduling: p workers repeatedly claim the next `chunk` consecutive indices
+// from a shared atomic counter until the range is drained. Early claimants of
+// expensive iterations naturally take fewer chunks, so skewed per-iteration
+// costs balance without any cost model — the work-stealing analogue the
+// sub-graph scheduler (internal/core) drains its cost-ordered unit queue
+// with. chunk <= 0 picks a default of n/(8p), at least 1; when p == 1 or a
+// single chunk covers the whole range the loop runs inline.
+func ForDynamic(n, p, chunk int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p = Workers(p)
+	if p > n {
+		p = n
+	}
+	if chunk <= 0 {
+		chunk = n / (8 * p)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if p <= 1 || chunk >= n {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Dynamic is ForDynamic under its historical name (grain == chunk).
 func Dynamic(n, p, grain int, fn func(i int)) {
-	ForWorker(n, p, grain, func(_, i int) { fn(i) })
+	ForDynamic(n, p, grain, fn)
 }
 
 // Bag accumulates values from many workers without locking: each worker

@@ -71,6 +71,136 @@ func TestForWorkerIDsWithinRange(t *testing.T) {
 	}
 }
 
+func TestForDynamicCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, 5000} {
+		for _, p := range []int{1, 2, 8, 16} {
+			for _, chunk := range []int{0, 1, 7, 10000} {
+				seen := make([]int32, n)
+				ForDynamic(n, p, chunk, func(i int) { atomic.AddInt32(&seen[i], 1) })
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("n=%d p=%d chunk=%d: index %d visited %d times", n, p, chunk, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForDynamicEdgeCases pins the three degenerate shapes: an empty range
+// never invokes the callback, n < p still covers every index exactly once,
+// and a chunk larger than n degrades to one inline pass.
+func TestForDynamicEdgeCases(t *testing.T) {
+	var calls int32
+	ForDynamic(0, 8, 4, func(i int) { atomic.AddInt32(&calls, 1) })
+	if calls != 0 {
+		t.Fatalf("n=0 invoked the callback %d times", calls)
+	}
+
+	const n, p = 3, 16 // n < p
+	seen := make([]int32, n)
+	ForDynamic(n, p, 1, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("n<p: index %d visited %d times", i, c)
+		}
+	}
+
+	// chunk > n: the whole range is one chunk, which must run inline on the
+	// caller's goroutine — order is therefore sequential.
+	var order []int
+	ForDynamic(5, 4, 99, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chunk>n order = %v, want 0..4 in order", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("chunk>n visited %d indices, want 5", len(order))
+	}
+}
+
+// TestForDynamicSkewedCoverage drives the scheduler's motivating workload —
+// one iteration several orders of magnitude more expensive than the rest —
+// and checks completeness; BenchmarkSkewed* measures the static-vs-dynamic
+// gap on the same shape.
+func TestForDynamicSkewedCoverage(t *testing.T) {
+	const n = 64
+	done := make([]int32, n)
+	ForDynamic(n, 4, 1, func(i int) {
+		if i == 0 {
+			sink := 0
+			for k := 0; k < 200000; k++ {
+				sink += k
+			}
+			_ = sink
+		}
+		atomic.AddInt32(&done[i], 1)
+	})
+	for i, c := range done {
+		if c != 1 {
+			t.Fatalf("skewed workload: index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestForSmallLoopRunsInline is the regression test for the tiny-n chunk
+// math: loops with at most ~4 iterations per worker must run inline on the
+// caller's goroutine (the plain append below would be flagged by -race
+// otherwise), in index order, instead of spawning one goroutine per element.
+func TestForSmallLoopRunsInline(t *testing.T) {
+	const p = 8
+	for _, n := range []int{1, 2, 5, 4 * p} {
+		var order []int
+		For(n, p, func(i int) { order = append(order, i) })
+		if len(order) != n {
+			t.Fatalf("n=%d: visited %d indices", n, len(order))
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("n=%d: order = %v, want sequential", n, order)
+			}
+		}
+	}
+}
+
+// skewedWork burns cycles proportional to the iteration's cost in a skewed
+// distribution: the first index carries half the total work, mimicking one
+// giant biconnected component among thousands of tiny ones.
+func skewedWork(i int) {
+	iters := 64
+	if i == 0 {
+		iters = 64 * 256
+	}
+	sink := 0
+	for k := 0; k < iters; k++ {
+		sink += k ^ (k << 1)
+	}
+	if sink == -1 {
+		panic("unreachable")
+	}
+}
+
+// BenchmarkSkewedStatic vs BenchmarkSkewedDynamic: static contiguous chunking
+// pins the heavy index-0 chunk to one worker that also owns ~n/p light
+// iterations, while dynamic claiming lets the other workers drain the light
+// tail concurrently. Run with -cpu 4 (or any p > 1) to see the gap.
+func BenchmarkSkewedStatic(b *testing.B) {
+	const n = 256
+	p := runtime.GOMAXPROCS(0)
+	for b.Loop() {
+		For(n, p, skewedWork)
+	}
+}
+
+func BenchmarkSkewedDynamic(b *testing.B) {
+	const n = 256
+	p := runtime.GOMAXPROCS(0)
+	for b.Loop() {
+		ForDynamic(n, p, 1, skewedWork)
+	}
+}
+
 func TestDynamicSum(t *testing.T) {
 	const n = 12345
 	var sum int64
