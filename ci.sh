@@ -4,12 +4,16 @@
 #   2. tier-1: go build ./... && go test ./...
 #   3. godoc gate: every internal package must open with a package comment
 #   4. race pass over the parallel hot paths and the serving subsystem
-#      (core, par, brandes, approx, server), plus an explicit scheduler
-#      gate: the dynamic unit scheduler must match serial Brandes at
-#      workers 1, 2, 4 and 8 under -race
-#   5. bcbench -json smoke run on the smallest dataset, then the regression
+#      (core, par, brandes, approx, server, the ws arena), plus an explicit
+#      scheduler gate: the dynamic unit scheduler must match serial Brandes
+#      at workers 1, 2, 4 and 8 under -race
+#   5. allocation gates: warm pooled sweeps (core, brandes) and the bcd
+#      top-K serving path must be allocation-free, and the workspace pool
+#      must survive 8 concurrent checkouts under -race; then a -benchmem
+#      benchmark smoke compile-and-run
+#   6. bcbench -json smoke run on the smallest dataset, then the regression
 #      gate self-compared (identical inputs must exit 0)
-#   6. approx smoke: full-budget sampling must bit-match exact BC (the
+#   7. approx smoke: full-budget sampling must bit-match exact BC (the
 #      estimator's own K==n self-check on a tiny graph), plus the bcbench
 #      error-vs-speedup sweep at tiny scale
 set -eu
@@ -53,8 +57,8 @@ if [ -n "$undocumented" ]; then
     exit 1
 fi
 
-echo "==> race: internal/core internal/par internal/brandes internal/approx internal/server"
-go test -race ./internal/core ./internal/par ./internal/brandes ./internal/approx ./internal/server
+echo "==> race: internal/core internal/par internal/brandes internal/approx internal/server internal/ws"
+go test -race ./internal/core ./internal/par ./internal/brandes ./internal/approx ./internal/server ./internal/ws
 
 echo "==> scheduler gate: BC vs serial Brandes at workers 1,2,4(,8) under -race"
 # The worker-sweep test runs the dynamic scheduler at workers 1, 2, 4 and 8
@@ -64,6 +68,14 @@ echo "==> scheduler gate: BC vs serial Brandes at workers 1,2,4(,8) under -race"
 go test -race -count=1 \
     -run 'TestSchedulerWorkerSweepMatchesBrandes|TestSchedulerStaticDynamicEquivalent|TestSchedulerDeterministic' \
     ./internal/core
+
+echo "==> alloc gates: warm sweeps and the top-K serving path allocate zero"
+go test -count=1 \
+    -run 'TestRootSweepWarmAllocs|TestSerialSweepWarmAllocs|TestTopKServingWarmAllocs|TestPoolRace' \
+    ./internal/core ./internal/brandes ./internal/server ./internal/ws
+
+echo "==> bench smoke: go test -bench -benchmem on the arena-backed paths"
+go test -run=NONE -bench=. -benchtime=1x -benchmem ./internal/ws ./internal/core
 
 echo "==> bcbench -json smoke (email-enron, scale 0.05)"
 tmp=$(mktemp -d)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bcc"
@@ -236,6 +237,8 @@ func timings(c config, want map[string]bool) error {
 				continue
 			}
 			var bd core.Breakdown
+			var ms0 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			start = time.Now()
 			_, err := r.run(g, c.workers, c.threshold, &bd)
 			if err != nil {
@@ -254,6 +257,14 @@ func timings(c config, want map[string]bool) error {
 			if r.name == "apgre" {
 				rec.Breakdown = breakdownRecord(bd)
 				rec.TraversedArcs = bd.TraversedArcs
+				if bd.Roots > 0 {
+					// Mallocs delta per root sweep: the workspace arena
+					// should keep this near zero once warm (a -check against
+					// an older artifact flags allocation regressions).
+					var ms1 runtime.MemStats
+					runtime.ReadMemStats(&ms1)
+					rec.AllocsPerSweep = float64(ms1.Mallocs-ms0.Mallocs) / float64(bd.Roots)
+				}
 			}
 			c.record(rec)
 		}

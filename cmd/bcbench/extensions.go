@@ -232,7 +232,7 @@ func extIncremental(c config) error {
 		c.record(metrics.Record{Experiment: "ext-incremental", Graph: name,
 			Algorithm: "full-recompute", Workers: c.workers,
 			Verts: ig.NumVertices(), Edges: ig.NumEdges(), Wall: full, Speedup: 1})
-		t.AddRow(name, build, stream/20, inc.FullRebuilds, full)
+		t.AddRow(name, build, stream/20, inc.FullRebuilds(), full)
 	}
 	t.Render(c.w())
 	return nil

@@ -77,7 +77,7 @@ func TestJSONGoldenSchema(t *testing.T) {
 		switch rec["algorithm"] {
 		case "apgre":
 			sawAPGRE = true
-			want := append([]string{"breakdown", "traversed_arcs"}, wantRec...)
+			want := append([]string{"allocs_per_sweep", "breakdown", "traversed_arcs"}, wantRec...)
 			sort.Strings(want)
 			if !equalStrings(got, want) {
 				t.Fatalf("apgre record keys = %v, want %v", got, want)

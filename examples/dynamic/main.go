@@ -53,7 +53,7 @@ func main() {
 		if u == v {
 			continue
 		}
-		before := inc.FullRebuilds
+		before := inc.FullRebuilds()
 		var opErr error
 		if inc.Graph().HasArc(u, v) {
 			opErr = inc.RemoveEdge(u, v)
@@ -64,7 +64,7 @@ func main() {
 			log.Fatal(opErr)
 		}
 		applied++
-		rebuilds += inc.FullRebuilds - before
+		rebuilds += inc.FullRebuilds() - before
 	}
 	elapsed := time.Since(streamStart)
 	fmt.Printf("\napplied 30 updates in %v (%.1fms/update); %d were structural rebuilds\n",

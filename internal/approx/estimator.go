@@ -374,6 +374,18 @@ func (e *Estimator) ExactRoots() int64 { return e.totalRoots }
 // Batches returns the number of stored stochastic batch vectors.
 func (e *Estimator) Batches() int { return len(e.batches) }
 
+// Release returns the estimator's pooled sweep workspaces to the shared
+// core arena. The estimator stays usable — ensureSweeps re-acquires scratch
+// on the next Refine/EnsureBudget call — so long-lived holders (the bcd
+// estimator cache) call Release when discarding or idling an estimator to
+// keep the pool's in-use gauge honest.
+func (e *Estimator) Release() {
+	for _, sw := range e.sweeps {
+		sw.Release()
+	}
+	e.sweeps = e.sweeps[:0]
+}
+
 // Result snapshots the estimator into a finished Result.
 func (e *Estimator) Result() Result {
 	return Result{

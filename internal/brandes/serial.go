@@ -13,7 +13,99 @@ package brandes
 
 import (
 	"repro/internal/graph"
+	"repro/internal/ws"
 )
+
+// sweepPool is this package's arena of pooled per-vertex sweep scratch: the
+// serial baselines run one source sweep per call into a checked-out ws.Sweep
+// and restore its clean-slot invariants with dirty-list sparse resets, so a
+// warm per-source sweep performs zero heap allocations. (Sparse resets are
+// bit-neutral versus the old full clears: a slot the previous source never
+// touched already holds its initial value.)
+//
+// The pool is package-private on purpose: brandes reuses the sweep's Di2i
+// array as its δ accumulator, which needs a "zero everywhere" invariant the
+// shared arena does not provide (the four-dependency engines leave Di2i
+// dirty by design). Within this pool the invariant holds — fresh sweeps
+// start zeroed and every sweep here sparse-resets δ over its visit order.
+var sweepPool ws.Pool
+
+// serialScratch bundles the pooled sweep with the CSR-style predecessor
+// storage Serial needs (sized by the graph's in-degrees, so it is per-graph
+// rather than pooled).
+type serialScratch struct {
+	sw       *ws.Sweep
+	predOffs []int64
+	predBuf  []graph.V
+	predLen  []int32
+}
+
+func newSerialScratch(g *graph.Graph, preds bool) *serialScratch {
+	n := g.NumVertices()
+	st := &serialScratch{sw: sweepPool.Get(n)}
+	if preds {
+		// A vertex's predecessors are a subset of its in-neighbors, so
+		// in-degrees bound the per-vertex capacity.
+		g.EnsureTranspose()
+		st.predOffs = make([]int64, n+1)
+		for v := 0; v < n; v++ {
+			st.predOffs[v+1] = st.predOffs[v] + int64(g.InDegree(graph.V(v)))
+		}
+		st.predBuf = make([]graph.V, st.predOffs[n])
+		st.predLen = make([]int32, n)
+	}
+	return st
+}
+
+func (st *serialScratch) release() {
+	sweepPool.Put(st.sw)
+	st.sw = nil
+}
+
+// runSource executes one predecessor-list Brandes sweep from s, adding the
+// source's dependencies into bc. All per-vertex state is restored by sparse
+// resets over the visit order (the dirty list), so warm calls do not
+// allocate.
+func (st *serialScratch) runSource(g *graph.Graph, s graph.V, bc []float64) {
+	dist, sigma, delta := st.sw.Dist, st.sw.Sigma, st.sw.Di2i
+	// Forward BFS: σ counting and predecessor collection.
+	dist[s] = 0
+	sigma[s] = 1
+	order := append(st.sw.Order[:0], s)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, v := range g.Out(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				order = append(order, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+				st.predBuf[st.predOffs[v]+int64(st.predLen[v])] = u
+				st.predLen[v]++
+			}
+		}
+	}
+	st.sw.Order = order
+	// Backward accumulation over predecessors.
+	for i := len(order) - 1; i > 0; i-- {
+		v := order[i]
+		coef := (1 + delta[v]) / sigma[v]
+		lo := st.predOffs[v]
+		for k := int32(0); k < st.predLen[v]; k++ {
+			u := st.predBuf[lo+int64(k)]
+			delta[u] += sigma[u] * coef
+		}
+		bc[v] += delta[v]
+	}
+	// Sparse reset: only the visited vertices carry state.
+	for _, v := range order {
+		dist[v] = -1
+		sigma[v] = 0
+		delta[v] = 0
+		st.predLen[v] = 0
+	}
+}
 
 // Serial is the textbook sequential Brandes algorithm with predecessor lists
 // ("preds-serial", the baseline every speedup in the paper is relative to).
@@ -23,58 +115,53 @@ func Serial(g *graph.Graph) []float64 {
 	if n == 0 {
 		return bc
 	}
-	dist := make([]int32, n)
-	sigma := make([]float64, n)
-	delta := make([]float64, n)
-	order := make([]graph.V, 0, n) // visit order; reverse is the dependency order
-	// CSR-style predecessor storage: v's predecessors are a subset of its
-	// in-neighbors, so in-degrees bound the per-vertex capacity.
-	g.EnsureTranspose()
-	predOffs := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		predOffs[v+1] = predOffs[v] + int64(g.InDegree(graph.V(v)))
-	}
-	predBuf := make([]graph.V, predOffs[n])
-	predLen := make([]int32, n)
-
+	st := newSerialScratch(g, true)
 	for s := graph.V(0); int(s) < n; s++ {
-		for i := range dist {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
-			predLen[i] = 0
-		}
-		// Forward BFS: σ counting and predecessor collection.
-		dist[s] = 0
-		sigma[s] = 1
-		order = append(order[:0], s)
-		for head := 0; head < len(order); head++ {
-			u := order[head]
-			for _, v := range g.Out(u) {
-				if dist[v] < 0 {
-					dist[v] = dist[u] + 1
-					order = append(order, v)
-				}
-				if dist[v] == dist[u]+1 {
-					sigma[v] += sigma[u]
-					predBuf[predOffs[v]+int64(predLen[v])] = u
-					predLen[v]++
-				}
+		st.runSource(g, s, bc)
+	}
+	st.release()
+	return bc
+}
+
+// runSourceSuccs executes one successor-pull Brandes sweep from s (no
+// predecessor lists; the backward sweep re-derives DAG successors from the
+// distance array), adding the source's dependencies into bc.
+func (st *serialScratch) runSourceSuccs(g *graph.Graph, s graph.V, bc []float64) {
+	dist, sigma, delta := st.sw.Dist, st.sw.Sigma, st.sw.Di2i
+	dist[s] = 0
+	sigma[s] = 1
+	order := append(st.sw.Order[:0], s)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, v := range g.Out(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				order = append(order, v)
 			}
-		}
-		// Backward accumulation over predecessors.
-		for i := len(order) - 1; i > 0; i-- {
-			v := order[i]
-			coef := (1 + delta[v]) / sigma[v]
-			lo := predOffs[v]
-			for k := int32(0); k < predLen[v]; k++ {
-				u := predBuf[lo+int64(k)]
-				delta[u] += sigma[u] * coef
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
 			}
-			bc[v] += delta[v]
 		}
 	}
-	return bc
+	st.sw.Order = order
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var acc float64
+		for _, w := range g.Out(v) {
+			if dist[w] == dist[v]+1 {
+				acc += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+		}
+		delta[v] = acc
+		if v != s {
+			bc[v] += acc
+		}
+	}
+	for _, v := range order {
+		dist[v] = -1
+		sigma[v] = 0
+		delta[v] = 0
+	}
 }
 
 // SerialSuccs is the sequential successor-pull formulation: no predecessor
@@ -87,45 +174,10 @@ func SerialSuccs(g *graph.Graph) []float64 {
 	if n == 0 {
 		return bc
 	}
-	dist := make([]int32, n)
-	sigma := make([]float64, n)
-	delta := make([]float64, n)
-	order := make([]graph.V, 0, n)
-
+	st := newSerialScratch(g, false)
 	for s := graph.V(0); int(s) < n; s++ {
-		for i := range dist {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
-		}
-		dist[s] = 0
-		sigma[s] = 1
-		order = append(order[:0], s)
-		for head := 0; head < len(order); head++ {
-			u := order[head]
-			for _, v := range g.Out(u) {
-				if dist[v] < 0 {
-					dist[v] = dist[u] + 1
-					order = append(order, v)
-				}
-				if dist[v] == dist[u]+1 {
-					sigma[v] += sigma[u]
-				}
-			}
-		}
-		for i := len(order) - 1; i >= 0; i-- {
-			v := order[i]
-			var acc float64
-			for _, w := range g.Out(v) {
-				if dist[w] == dist[v]+1 {
-					acc += sigma[v] / sigma[w] * (1 + delta[w])
-				}
-			}
-			delta[v] = acc
-			if v != s {
-				bc[v] += acc
-			}
-		}
+		st.runSourceSuccs(g, s, bc)
 	}
+	st.release()
 	return bc
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/gen"
+)
+
+// Allocation gates for the pooled sweep-workspace arena: once a workspace is
+// warm (checked out and grown to the sub-graph's size), repeated root sweeps
+// must not touch the heap — the dirty-list sparse resets restore the
+// clean-slot invariants without reallocating anything.
+
+func decomposeForAlloc(t *testing.T, nScale float64) *decompose.Decomposition {
+	t.Helper()
+	g := gen.SocialLike(gen.SocialParams{N: int(400 * nScale), AvgDeg: 4,
+		Communities: 4, TopShare: 0.5, LeafFrac: 0.3, Seed: 7})
+	d, err := decompose.Decompose(g, decompose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkRootSweepWarm measures the steady-state per-root sweep on the
+// largest sub-graph of the fixture; -benchmem should report 0 allocs/op
+// (EXPERIMENTS.md records the before/after of the arena refactor).
+func BenchmarkRootSweepWarm(b *testing.B) {
+	g := gen.SocialLike(gen.SocialParams{N: 400, AvgDeg: 4,
+		Communities: 4, TopShare: 0.5, LeafFrac: 0.3, Seed: 7})
+	d, err := decompose.Decompose(g, decompose.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sg *decompose.Subgraph
+	for _, cand := range d.Subgraphs {
+		if len(cand.Roots) > 0 && (sg == nil || cand.NumVerts() > sg.NumVerts()) {
+			sg = cand
+		}
+	}
+	var rs RootSweep
+	rs.Run(sg, sg.Roots[0], g.Directed())
+	dst := make([]float64, sg.NumVerts())
+	rs.Collect(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Run(sg, sg.Roots[i%len(sg.Roots)], g.Directed())
+	}
+	b.StopTimer()
+	rs.Collect(dst)
+	rs.Release()
+}
+
+func TestRootSweepWarmAllocs(t *testing.T) {
+	// Small sub-graphs exercise the plain top-down sweep, the large one the
+	// direction-optimizing hybrid; both must be allocation-free warm.
+	for _, scale := range []float64{0.25, 1} {
+		d := decomposeForAlloc(t, scale)
+		var sg *decompose.Subgraph
+		for _, cand := range d.Subgraphs {
+			if len(cand.Roots) > 1 && (sg == nil || cand.NumVerts() > sg.NumVerts()) {
+				sg = cand
+			}
+		}
+		if sg == nil {
+			t.Fatal("no multi-root sub-graph in fixture")
+		}
+		var rs RootSweep
+		directed := d.G.Directed()
+		for _, r := range sg.Roots {
+			rs.Run(sg, r, directed)
+		}
+		dst := make([]float64, sg.NumVerts())
+		rs.Collect(dst)
+		i := 0
+		allocs := testing.AllocsPerRun(50, func() {
+			rs.Run(sg, sg.Roots[i%len(sg.Roots)], directed)
+			i++
+		})
+		rs.Collect(dst)
+		rs.Release()
+		if allocs != 0 {
+			t.Fatalf("scale %v (n=%d): warm RootSweep.Run allocates %.1f/op, want 0",
+				scale, sg.NumVerts(), allocs)
+		}
+	}
+}

@@ -230,9 +230,9 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 			for _, s := range sg.Roots {
 				serialBig.runRoot(sg, s, directed)
 			}
-			flushLocal(bc, sg, serialBig.bcLocal)
-			for l := range serialBig.bcLocal[:n] {
-				serialBig.bcLocal[l] = 0
+			flushLocal(bc, sg, serialBig.ws.BC)
+			for l := range serialBig.ws.BC[:n] {
+				serialBig.ws.BC[l] = 0
 			}
 			traversed += serialBig.traversed
 			serialBig.traversed = 0
@@ -247,14 +247,20 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 			for _, s := range sg.Roots {
 				fineBig.runRoot(sg, s, directed)
 			}
-			flushLocal(bc, sg, fineBig.bcLocal)
-			for l := range fineBig.bcLocal[:n] {
-				fineBig.bcLocal[l] = 0
+			flushLocal(bc, sg, fineBig.ws.BC)
+			for l := range fineBig.ws.BC[:n] {
+				fineBig.ws.BC[l] = 0
 			}
 			traversed += fineBig.traversed
 			fineBig.traversed = 0
 		}
 		roots += int64(len(sg.Roots))
+	}
+	if serialBig != nil {
+		serialBig.release()
+	}
+	if fineBig != nil {
+		fineBig.release()
 	}
 	topDur := time.Since(startA)
 
@@ -273,14 +279,19 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 		for _, s := range sg.Roots {
 			st.runRoot(sg, s, directed)
 		}
-		flushLocalAtomic(bc, sg, st.bcLocal)
-		for l := range st.bcLocal[:sg.NumVerts()] {
-			st.bcLocal[l] = 0
+		flushLocalAtomic(bc, sg, st.ws.BC)
+		for l := range st.ws.BC[:sg.NumVerts()] {
+			st.ws.BC[l] = 0
 		}
 		atomic.AddInt64(&traversed, st.traversed)
 		st.traversed = 0
 		atomic.AddInt64(&roots, int64(len(sg.Roots)))
 	})
+	for _, st := range scratches {
+		if st != nil {
+			st.release()
+		}
+	}
 	restDur := time.Since(startB)
 
 	if opt.Breakdown != nil {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/decompose"
 	"repro/internal/graph"
@@ -24,17 +26,28 @@ import (
 // no sub-graph). Removals never rebuild: deleting an edge can only split
 // structure, which leaves the existing (now conservative) partition valid.
 //
+// # Epochs
+//
+// The graph, decomposition and scores live together in one immutable *epoch*
+// behind an atomic pointer. Readers (BC, Graph, Decomposition, Snapshot)
+// never lock: they load the pointer and get a consistent generation that
+// will never change underneath them. Mutators serialize on an internal
+// mutex, build the next epoch copy-on-write — sharing the CSRs of every
+// sub-graph the mutation does not rewrite (decompose.CloneForMutation /
+// CloneForAlphaBeta) — and publish it with a single pointer store. That
+// shrinks any outer write lock (e.g. bcd's per-entry RWMutex) to nothing:
+// serving reads stay lock-free even while a mutation recomputes.
+//
 // Unweighted graphs only.
 type Incremental struct {
 	opt      Options
 	directed bool
 	n        int
-	edges    []graph.Edge
-	g        *graph.Graph
-	d        *decompose.Decomposition
-	sgOf     [][]int32   // vertex -> sub-graph indices
-	contrib  [][]float64 // per-sub-graph local BC contributions
-	bc       []float64
+
+	// mu serializes mutators; it guards edges and splitSinceRebuild. Readers
+	// never take it — they load cur.
+	mu    sync.Mutex
+	edges []graph.Edge
 
 	// splitSinceRebuild records that an undirected removal may have split a
 	// sub-graph internally since the last full rebuild. While set, insertions
@@ -42,12 +55,47 @@ type Incremental struct {
 	// that the split had cut off.
 	splitSinceRebuild bool
 
-	// FullRebuilds counts structural fallbacks (for tests and telemetry).
-	FullRebuilds int
-	// LocalUpdates counts mutations absorbed without a rebuild (the
-	// incremental fast path bcd reports on its /metrics endpoint).
-	LocalUpdates int
+	cur atomic.Pointer[epochState]
+
+	fullRebuilds atomic.Int64
+	localUpdates atomic.Int64
 }
+
+// epochState is one immutable generation: a graph, the decomposition built
+// over it, the per-sub-graph BC contributions and the merged scores. Once
+// published via Incremental.cur nothing in it is ever written again.
+type epochState struct {
+	seq     uint64
+	g       *graph.Graph
+	d       *decompose.Decomposition
+	sgOf    [][]int32   // vertex -> sub-graph indices (partition-stable)
+	contrib [][]float64 // per-sub-graph local BC contributions
+	bc      []float64
+}
+
+// Snapshot is a consistent, immutable view of one epoch: the graph, the
+// decomposition and the scores all belong to the same generation. Callers
+// must treat every reachable structure as read-only.
+type Snapshot struct {
+	// Seq increments with every published epoch (mutation or rebuild); equal
+	// Seq values denote the identical epoch, so caches keyed by Seq (e.g.
+	// bcd's approx estimator) invalidate exactly when the graph changes.
+	Seq           uint64
+	Graph         *graph.Graph
+	Decomposition *decompose.Decomposition
+	bc            []float64
+}
+
+// BC returns a copy of the snapshot's scores.
+func (s Snapshot) BC() []float64 {
+	out := make([]float64, len(s.bc))
+	copy(out, s.bc)
+	return out
+}
+
+// BCView returns the snapshot's scores without copying. The slice is
+// immutable (it belongs to a published epoch); callers must not modify it.
+func (s Snapshot) BCView() []float64 { return s.bc }
 
 // NewIncremental decomposes g and computes the initial scores. The Options'
 // parallel settings are ignored (updates run serially); Threshold and
@@ -65,31 +113,52 @@ func NewIncremental(g *graph.Graph, opt Options) (*Incremental, error) {
 	if err := inc.rebuild(); err != nil {
 		return nil, err
 	}
-	inc.FullRebuilds = 0 // the initial build does not count
+	inc.fullRebuilds.Store(0) // the initial build does not count
 	return inc, nil
 }
 
-// BC returns a copy of the current scores.
-func (inc *Incremental) BC() []float64 {
-	out := make([]float64, len(inc.bc))
-	copy(out, inc.bc)
-	return out
+// Snapshot returns the current epoch. Lock-free; the result stays internally
+// consistent forever (later mutations publish new epochs instead of editing
+// this one).
+func (inc *Incremental) Snapshot() Snapshot {
+	e := inc.cur.Load()
+	return Snapshot{Seq: e.seq, Graph: e.g, Decomposition: e.d, bc: e.bc}
 }
 
+// BC returns a copy of the current scores.
+func (inc *Incremental) BC() []float64 { return inc.Snapshot().BC() }
+
 // Graph returns the current graph.
-func (inc *Incremental) Graph() *graph.Graph { return inc.g }
+func (inc *Incremental) Graph() *graph.Graph { return inc.cur.Load().g }
 
 // Decomposition returns the current decomposition. After removals the
 // partition can be conservative (a split block keeps its pre-split
 // sub-graph); callers must treat it as read-only.
-func (inc *Incremental) Decomposition() *decompose.Decomposition { return inc.d }
+func (inc *Incremental) Decomposition() *decompose.Decomposition { return inc.cur.Load().d }
 
-// rebuild decomposes from scratch and recomputes every contribution.
+// FullRebuilds counts structural fallbacks (for tests and telemetry).
+func (inc *Incremental) FullRebuilds() int { return int(inc.fullRebuilds.Load()) }
+
+// LocalUpdates counts mutations absorbed without a rebuild (the incremental
+// fast path bcd reports on its /metrics endpoint).
+func (inc *Incremental) LocalUpdates() int { return int(inc.localUpdates.Load()) }
+
+// publish makes next the current epoch. Directed graphs get their transpose
+// materialized first so no reader ever triggers the lazy build concurrently.
+func (inc *Incremental) publish(next *epochState) {
+	if inc.directed {
+		next.g.EnsureTranspose()
+	}
+	inc.cur.Store(next)
+}
+
+// rebuild decomposes from scratch and recomputes every contribution into a
+// fresh epoch. Caller holds mu (or is the constructor).
 func (inc *Incremental) rebuild() error {
-	inc.FullRebuilds++
+	inc.fullRebuilds.Add(1)
 	inc.splitSinceRebuild = false
-	inc.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
-	d, err := decompose.Decompose(inc.g, decompose.Options{
+	g := graph.NewFromEdges(inc.n, inc.edges, inc.directed)
+	d, err := decompose.Decompose(g, decompose.Options{
 		Threshold:    inc.opt.Threshold,
 		AlphaBeta:    inc.opt.AlphaBeta,
 		DisableGamma: inc.opt.DisableGamma,
@@ -97,53 +166,69 @@ func (inc *Incremental) rebuild() error {
 	if err != nil {
 		return err
 	}
-	inc.d = d
-	inc.sgOf = make([][]int32, inc.n)
+	next := &epochState{
+		g:       g,
+		d:       d,
+		sgOf:    make([][]int32, inc.n),
+		contrib: make([][]float64, len(d.Subgraphs)),
+		bc:      make([]float64, inc.n),
+	}
+	if prev := inc.cur.Load(); prev != nil {
+		next.seq = prev.seq + 1
+	}
 	for si, sg := range d.Subgraphs {
 		for _, v := range sg.Verts {
-			inc.sgOf[v] = append(inc.sgOf[v], int32(si))
+			next.sgOf[v] = append(next.sgOf[v], int32(si))
 		}
 	}
-	inc.contrib = make([][]float64, len(d.Subgraphs))
-	inc.bc = make([]float64, inc.n)
 	for si := range d.Subgraphs {
-		if err := inc.recompute(si); err != nil {
+		if err := inc.recompute(next, si); err != nil {
 			return err
 		}
 	}
+	inc.publish(next)
 	return nil
 }
 
-// recompute refreshes sub-graph si's contribution and patches the global
-// scores.
-func (inc *Incremental) recompute(si int) error {
-	sg := inc.d.Subgraphs[si]
+// recompute refreshes sub-graph si's contribution inside the epoch under
+// construction and patches its scores. The sweep scratch is pooled; the
+// stored contribution is a private copy (epochs share contrib arrays
+// copy-on-write, so workspace memory must never leak into one).
+func (inc *Incremental) recompute(next *epochState, si int) error {
+	sg := next.d.Subgraphs[si]
+	n := sg.NumVerts()
 	st := &serialState{}
-	if sg.NumVerts() >= hybridMinVerts {
+	if n >= hybridMinVerts {
 		sg.EnsureIn()
 		st.hybridFrac = resolveFrac(inc.opt.BottomUpFrac)
 	}
-	st.ensure(sg.NumVerts())
+	st.ensure(n)
 	for _, s := range sg.Roots {
 		st.runRoot(sg, s, inc.directed)
 	}
-	old := inc.contrib[si]
+	fresh := make([]float64, n)
+	copy(fresh, st.ws.BC[:n])
+	for l := range st.ws.BC[:n] {
+		st.ws.BC[l] = 0
+	}
+	st.release()
+	old := next.contrib[si]
 	for l, v := range sg.Verts {
 		if old != nil {
-			inc.bc[v] -= old[l]
+			next.bc[v] -= old[l]
 		}
-		inc.bc[v] += st.bcLocal[l]
+		next.bc[v] += fresh[l]
 	}
-	inc.contrib[si] = st.bcLocal[:sg.NumVerts()]
+	next.contrib[si] = fresh
 	return nil
 }
 
 // commonSubgraph returns the sub-graph index containing both endpoints, or
 // -1 (two sub-graphs never share more than one vertex, so the intersection
 // has at most one element).
-func (inc *Incremental) commonSubgraph(u, v graph.V) int {
-	for _, a := range inc.sgOf[u] {
-		for _, b := range inc.sgOf[v] {
+func commonSubgraph(sgOf [][]int32, u, v graph.V) int {
+	for _, a := range sgOf[u] {
+		for _, b := range sgOf[v] {
 			if a == b {
 				return int(a)
 			}
@@ -168,17 +253,20 @@ func (inc *Incremental) InsertEdge(u, v graph.V) error {
 	if err := inc.validate(u, v); err != nil {
 		return err
 	}
-	if inc.g.HasArc(u, v) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	prev := inc.cur.Load()
+	if prev.g.HasArc(u, v) {
 		return fmt.Errorf("core: edge %d->%d already present", u, v)
 	}
 	inc.edges = append(inc.edges, graph.Edge{From: u, To: v})
-	si := inc.commonSubgraph(u, v)
+	si := commonSubgraph(prev.sgOf, u, v)
 	if si < 0 {
 		// Cross-sub-graph insertion fuses blocks along the tree path (or
 		// attaches an isolated vertex): structural, rebuild.
 		return inc.rebuild()
 	}
-	return inc.applyLocal(si, true, u, v)
+	return inc.applyLocal(prev, si, true, u, v)
 }
 
 // RemoveEdge deletes the edge (u,v) — the arc u->v for directed graphs.
@@ -186,7 +274,10 @@ func (inc *Incremental) RemoveEdge(u, v graph.V) error {
 	if err := inc.validate(u, v); err != nil {
 		return err
 	}
-	if !inc.g.HasArc(u, v) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	prev := inc.cur.Load()
+	if !prev.g.HasArc(u, v) {
 		return fmt.Errorf("core: edge %d->%d absent", u, v)
 	}
 	for i, e := range inc.edges {
@@ -199,17 +290,21 @@ func (inc *Incremental) RemoveEdge(u, v graph.V) error {
 			break
 		}
 	}
-	si := inc.commonSubgraph(u, v)
+	si := commonSubgraph(prev.sgOf, u, v)
 	if si < 0 {
 		// Cannot happen for an existing edge (every edge lives in one
 		// block, hence one sub-graph), but stay safe.
 		return inc.rebuild()
 	}
-	return inc.applyLocal(si, false, u, v)
+	return inc.applyLocal(prev, si, false, u, v)
 }
 
-// applyLocal performs an intra-sub-graph mutation: patch the graph, the
-// sub-graph CSR and its roots, then recompute the affected contributions.
+// applyLocal performs an intra-sub-graph mutation by building the next epoch
+// copy-on-write: clone the decomposition shell, swap in cloned sub-graphs
+// for everything the mutation writes (the mutated sub-graph's CSR/γ/roots,
+// plus α/β arrays everywhere when they need a refresh), patch the clones,
+// recompute the affected contributions and publish. Unchanged sub-graph
+// CSRs are shared between epochs.
 //
 // Other sub-graphs' α/β can shift even though the partition stays valid:
 //
@@ -222,14 +317,15 @@ func (inc *Incremental) RemoveEdge(u, v graph.V) error {
 //     bridge sub-graph: removing the bridge must drop the triangles' α from
 //     3 to 0. Insertions after such a split can reconnect those regions.
 //
-// In all those cases, snapshot α/β, refresh them against the mutated graph
-// (BFS counting — the undirected tree method only sees the partition shape,
-// not internal splits), and recompute every sub-graph whose values moved.
-// The cheap path — undirected mutation with no split possible — recomputes
-// only the mutated sub-graph.
-func (inc *Incremental) applyLocal(si int, add bool, u, v graph.V) error {
-	sg := inc.d.Subgraphs[si]
-	lu, lv := sg.LocalID(u), sg.LocalID(v)
+// In all those cases, refresh α/β against the mutated graph (BFS counting —
+// the undirected tree method only sees the partition shape, not internal
+// splits) and recompute every sub-graph whose values moved; the previous
+// epoch's arrays serve as the before-image, so no separate snapshot is
+// needed. The cheap path — undirected mutation with no split possible —
+// recomputes only the mutated sub-graph.
+func (inc *Incremental) applyLocal(prev *epochState, si int, add bool, u, v graph.V) error {
+	oldSG := prev.d.Subgraphs[si]
+	lu, lv := oldSG.LocalID(u), oldSG.LocalID(v)
 	if lu < 0 || lv < 0 {
 		return inc.rebuild()
 	}
@@ -237,50 +333,56 @@ func (inc *Incremental) applyLocal(si int, add bool, u, v graph.V) error {
 		inc.splitSinceRebuild = true
 	}
 	refreshAB := inc.directed || !add || inc.splitSinceRebuild
-	var oldAB [][]float64
-	if refreshAB {
-		oldAB = snapshotAlphaBeta(inc.d)
+
+	next := &epochState{
+		seq:     prev.seq + 1,
+		d:       prev.d.CloneShallow(),
+		sgOf:    prev.sgOf, // the partition is unchanged
+		contrib: append([][]float64(nil), prev.contrib...),
+		bc:      append([]float64(nil), prev.bc...),
 	}
+	if refreshAB {
+		for sj := range next.d.Subgraphs {
+			if sj != si {
+				next.d.Subgraphs[sj] = next.d.Subgraphs[sj].CloneForAlphaBeta()
+			}
+		}
+	}
+	sg := oldSG.CloneForMutation()
+	next.d.Subgraphs[si] = sg
 	if err := sg.MutateEdge(add, lu, lv, inc.directed); err != nil {
 		return err
 	}
-	inc.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
-	inc.d.SetGraph(inc.g)
-	inc.d.RefreshRoots(si, inc.opt.DisableGamma)
-	inc.LocalUpdates++
+	next.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
+	next.d.SetGraph(next.g)
+	next.d.RefreshRoots(si, inc.opt.DisableGamma)
+	inc.localUpdates.Add(1)
 	if !refreshAB {
-		return inc.recompute(si)
+		if err := inc.recompute(next, si); err != nil {
+			return err
+		}
+		inc.publish(next)
+		return nil
 	}
-	if err := inc.d.RecomputeAlphaBeta(0); err != nil {
+	if err := next.d.RecomputeAlphaBeta(0); err != nil {
 		return err
 	}
-	for sj := range inc.d.Subgraphs {
-		if sj == si || alphaBetaChanged(inc.d.Subgraphs[sj], oldAB[sj]) {
-			if err := inc.recompute(sj); err != nil {
+	for sj := range next.d.Subgraphs {
+		if sj == si || alphaBetaChanged(next.d.Subgraphs[sj], prev.d.Subgraphs[sj]) {
+			if err := inc.recompute(next, sj); err != nil {
 				return err
 			}
 		}
 	}
+	inc.publish(next)
 	return nil
 }
 
-// snapshotAlphaBeta copies every sub-graph's (α, β) pairs, flattened per
-// sub-graph as [α0, β0, α1, β1, ...] over its Arts.
-func snapshotAlphaBeta(d *decompose.Decomposition) [][]float64 {
-	out := make([][]float64, len(d.Subgraphs))
-	for si, sg := range d.Subgraphs {
-		snap := make([]float64, 0, 2*len(sg.Arts))
-		for _, la := range sg.Arts {
-			snap = append(snap, sg.Alpha[la], sg.Beta[la])
-		}
-		out[si] = snap
-	}
-	return out
-}
-
-func alphaBetaChanged(sg *decompose.Subgraph, old []float64) bool {
-	for i, la := range sg.Arts {
-		if sg.Alpha[la] != old[2*i] || sg.Beta[la] != old[2*i+1] {
+// alphaBetaChanged compares a clone's refreshed (α, β) against the previous
+// epoch's values over the boundary APs (Arts is shared between the two).
+func alphaBetaChanged(next, prev *decompose.Subgraph) bool {
+	for _, la := range next.Arts {
+		if next.Alpha[la] != prev.Alpha[la] || next.Beta[la] != prev.Beta[la] {
 			return true
 		}
 	}

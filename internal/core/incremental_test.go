@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -40,8 +41,8 @@ func TestIncrementalIntraSubgraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertIncMatches(t, inc, "re-add clique chord")
-	if inc.FullRebuilds != 0 {
-		t.Fatalf("intra-sub-graph ops triggered %d rebuilds", inc.FullRebuilds)
+	if inc.FullRebuilds() != 0 {
+		t.Fatalf("intra-sub-graph ops triggered %d rebuilds", inc.FullRebuilds())
 	}
 }
 
@@ -56,8 +57,8 @@ func TestIncrementalCrossSubgraphRebuilds(t *testing.T) {
 	if err := inc.InsertEdge(1, 11); err != nil {
 		t.Fatal(err)
 	}
-	if inc.FullRebuilds != 1 {
-		t.Fatalf("rebuilds = %d, want 1", inc.FullRebuilds)
+	if inc.FullRebuilds() != 1 {
+		t.Fatalf("rebuilds = %d, want 1", inc.FullRebuilds())
 	}
 	assertIncMatches(t, inc, "cross insert")
 	// Removing it again: the edge now lives in one (big) sub-graph.
@@ -179,8 +180,8 @@ func TestIncrementalBridgeRemoval(t *testing.T) {
 			if err := inc.RemoveEdge(2, 3); err != nil {
 				t.Fatal(err)
 			}
-			if inc.FullRebuilds != 0 {
-				t.Fatalf("bridge removal forced %d rebuilds, want 0 (local split)", inc.FullRebuilds)
+			if inc.FullRebuilds() != 0 {
+				t.Fatalf("bridge removal forced %d rebuilds, want 0 (local split)", inc.FullRebuilds())
 			}
 			assertIncMatches(t, inc, "bridge removed")
 			if directed {
@@ -209,8 +210,8 @@ func TestIncrementalBridgeRemoval(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			if inc.FullRebuilds != 0 {
-				t.Fatalf("bridge re-insertion forced %d rebuilds, want 0", inc.FullRebuilds)
+			if inc.FullRebuilds() != 0 {
+				t.Fatalf("bridge re-insertion forced %d rebuilds, want 0", inc.FullRebuilds())
 			}
 			assertIncMatches(t, inc, "bridge restored")
 		})
@@ -233,8 +234,8 @@ func TestIncrementalLeafBridgeRemoval(t *testing.T) {
 	if err := inc.RemoveEdge(2, 3); err != nil {
 		t.Fatal(err)
 	}
-	if inc.FullRebuilds != 0 {
-		t.Fatalf("leaf removal forced %d rebuilds, want 0", inc.FullRebuilds)
+	if inc.FullRebuilds() != 0 {
+		t.Fatalf("leaf removal forced %d rebuilds, want 0", inc.FullRebuilds())
 	}
 	assertIncMatches(t, inc, "leaf detached")
 	if err := inc.InsertEdge(2, 3); err != nil {
@@ -245,6 +246,98 @@ func TestIncrementalLeafBridgeRemoval(t *testing.T) {
 
 // Randomized soak: a stream of random insertions and removals, each followed
 // by an exactness check against a fresh Brandes run.
+// TestSnapshotEpochImmutable: a snapshot taken before a mutation is a frozen
+// epoch — its scores, graph and decomposition never change, no matter how the
+// engine moves on; the next snapshot carries a higher sequence number.
+func TestSnapshotEpochImmutable(t *testing.T) {
+	g := gen.Caveman(4, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := inc.Snapshot()
+	bc0 := append([]float64(nil), snap0.BCView()...)
+	edges0 := snap0.Graph.NumEdges()
+	subs0 := len(snap0.Decomposition.Subgraphs)
+
+	if err := inc.RemoveEdge(6, 9); err != nil { // local update
+		t.Fatal(err)
+	}
+	if err := inc.InsertEdge(1, 11); err != nil { // forces a rebuild
+		t.Fatal(err)
+	}
+
+	for i, v := range snap0.BCView() {
+		if v != bc0[i] {
+			t.Fatalf("old epoch's scores changed at %d: %v -> %v", i, bc0[i], v)
+		}
+	}
+	if snap0.Graph.NumEdges() != edges0 {
+		t.Fatalf("old epoch's graph changed: %d -> %d edges", edges0, snap0.Graph.NumEdges())
+	}
+	if len(snap0.Decomposition.Subgraphs) != subs0 {
+		t.Fatal("old epoch's decomposition changed shape")
+	}
+	snap1 := inc.Snapshot()
+	if snap1.Seq <= snap0.Seq {
+		t.Fatalf("seq did not advance: %d -> %d", snap0.Seq, snap1.Seq)
+	}
+	assertIncMatches(t, inc, "after mutations")
+}
+
+// TestIncrementalConcurrentReaders hammers lock-free snapshot reads while a
+// writer mutates — the race detector (ci runs this package under -race)
+// checks the epoch handoff, and each reader checks its epoch is internally
+// consistent (score vector sized to its own graph).
+func TestIncrementalConcurrentReaders(t *testing.T) {
+	g := gen.Caveman(4, 6, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					errs <- nil
+					return
+				default:
+				}
+				snap := inc.Snapshot()
+				if len(snap.BCView()) != snap.Graph.NumVertices() {
+					errs <- errInconsistentEpoch
+					return
+				}
+				var sum float64
+				for _, v := range snap.BCView() {
+					sum += v
+				}
+				_ = sum
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := inc.RemoveEdge(1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.InsertEdge(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	for r := 0; r < 4; r++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertIncMatches(t, inc, "after concurrent churn")
+}
+
+var errInconsistentEpoch = fmt.Errorf("snapshot scores not sized to snapshot graph")
+
 func TestIncrementalRandomOps(t *testing.T) {
 	g := gen.SocialLike(gen.SocialParams{N: 90, AvgDeg: 4, Communities: 4,
 		TopShare: 0.5, LeafFrac: 0.3, Seed: 10})
@@ -273,7 +366,7 @@ func TestIncrementalRandomOps(t *testing.T) {
 		ops++
 		assertIncMatches(t, inc, "soak")
 	}
-	if inc.FullRebuilds == 0 {
+	if inc.FullRebuilds() == 0 {
 		t.Log("note: soak run never required a structural rebuild")
 	}
 }

@@ -51,9 +51,10 @@ type rootEngine interface {
 	runRoot(sg *decompose.Subgraph, s int32, directed bool)
 	local() []float64     // per-sub-graph BC accumulation buffer
 	takeTraversed() int64 // drain the traversed-arc counter
+	release()             // return pooled scratch (caller drained local first)
 }
 
-func (st *serialState) local() []float64 { return st.bcLocal }
+func (st *serialState) local() []float64 { return st.ws.BC }
 
 func (st *serialState) takeTraversed() int64 {
 	t := st.traversed
@@ -61,7 +62,7 @@ func (st *serialState) takeTraversed() int64 {
 	return t
 }
 
-func (st *weightedState) local() []float64 { return st.bcLocal }
+func (st *weightedState) local() []float64 { return st.ws.BC }
 
 func (st *weightedState) takeTraversed() int64 {
 	t := st.traversed
@@ -152,7 +153,9 @@ func drainUnits(units []workUnit, p int, directed bool, newEngine func() rootEng
 				loc[l] = 0
 			}
 		}
-		return st.takeTraversed()
+		t := st.takeTraversed()
+		st.release()
+		return t
 	}
 	// Drain order: descending cost, ties broken by canonical order so the
 	// queue itself is deterministic.
@@ -195,6 +198,7 @@ func drainUnits(units []workUnit, p int, directed bool, newEngine func() rootEng
 	for _, st := range engines {
 		if st != nil {
 			traversed += st.takeTraversed()
+			st.release()
 		}
 	}
 	return traversed

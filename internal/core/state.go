@@ -8,9 +8,22 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/decompose"
 	"repro/internal/par"
+	"repro/internal/ws"
 )
 
 func atomicAddFloat64(addr *float64, delta float64) { par.AddFloat64(addr, delta) }
+
+// sweepPool is the process-wide sweep-workspace arena (internal/ws): every
+// engine in this package checks its per-vertex scratch out of it and returns
+// it with the clean-slot invariants restored, so warm steady-state
+// computation — repeated ComputeDecomposed calls, incremental updates, approx
+// batches, bcd requests — performs zero per-sweep heap allocation.
+var sweepPool ws.Pool
+
+// SweepPoolStats exposes the arena's gauges (sweeps created, sweeps checked
+// out) for serving telemetry — bcd publishes them as bcd_ws_pool_size and
+// bcd_ws_in_use on /metrics.
+func SweepPoolStats() (size, inUse int) { return sweepPool.Stats() }
 
 // hybridMinVerts gates the direction-optimizing σ-BFS: below this size the
 // bottom-up word scan costs more than it saves, and the transpose CSR is not
@@ -52,16 +65,11 @@ func unvisitedWord(visited *bitset.Bitset, wi, n int) (word uint64, base int) {
 // visited vertex's slots are assigned exactly once per root.
 
 // serialState is the per-worker scratch for coarse-grained (small sub-graph)
-// processing: one goroutine runs whole sub-graphs with serial phases.
+// processing: one goroutine runs whole sub-graphs with serial phases. All
+// per-vertex arrays live in a pooled ws.Sweep checked out on first ensure
+// and returned clean by release.
 type serialState struct {
-	alloc     int // allocated length of the slices below
-	dist      []int32
-	sigma     []float64
-	di2i      []float64
-	di2o      []float64
-	do2o      []float64
-	order     []int32
-	bcLocal   []float64
+	ws        *ws.Sweep
 	traversed int64
 
 	// hybridFrac > 0 enables the direction-optimizing forward sweep: a level
@@ -74,44 +82,48 @@ type serialState struct {
 	// phase only needs `order` grouped by non-decreasing level — within-level
 	// permutations cannot change any value it computes.
 	hybridFrac float64
-	visited    *bitset.Bitset
 }
 
-// ensure sizes the scratch for a sub-graph of n local vertices, preserving
-// the "dist == -1 everywhere" invariant maintained by sparse resets.
+// ensure checks sweep scratch sized for n local vertices out of the shared
+// pool (growing it when a bigger sub-graph arrives); the clean-slot
+// invariants — dist == -1 everywhere, σ/BC zero, visited clear — are
+// guaranteed by the pool and maintained by runRoot's sparse resets.
 func (st *serialState) ensure(n int) {
-	if st.alloc >= n {
+	if st.ws == nil {
+		st.ws = sweepPool.Get(n)
 		return
 	}
-	st.alloc = n
-	st.dist = make([]int32, n)
-	for i := range st.dist {
-		st.dist[i] = -1
+	st.ws.Grow(n)
+}
+
+// release returns the scratch to the pool. The caller must have drained
+// ws.BC (flush + zero) first; everything else is clean by the sparse-reset
+// discipline.
+func (st *serialState) release() {
+	if st.ws != nil {
+		sweepPool.Put(st.ws)
+		st.ws = nil
 	}
-	st.sigma = make([]float64, n)
-	st.di2i = make([]float64, n)
-	st.di2o = make([]float64, n)
-	st.do2o = make([]float64, n)
-	st.bcLocal = make([]float64, n)
-	st.visited = bitset.New(n)
 }
 
 // runRoot executes Algorithm 2 for one root s of sg: forward σ BFS (direction
 // optimizing when enabled), then the backward four-dependency accumulation
 // and BC merge (Eq. 7).
 func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
-	dist, sigma := st.dist, st.sigma
-	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	dist, sigma := st.ws.Dist, st.ws.Sigma
+	di2i, di2o, do2o := st.ws.Di2i, st.ws.Di2o, st.ws.Do2o
+	bcLocal := st.ws.BC
+	visited := st.ws.Visited
 	n := sg.NumVerts()
 	hybrid := st.hybridFrac > 0 && sg.HasIn()
 
 	// Phase 1: forward BFS counting shortest paths, level by level. order is
 	// grouped by level (non-decreasing dist), which is all phase 2 needs.
-	st.order = append(st.order[:0], s)
+	order := append(st.ws.Order[:0], s)
 	dist[s] = 0
 	sigma[s] = 1
 	if hybrid {
-		st.visited.Set(int(s))
+		visited.Set(int(s))
 	}
 	for d, lo, hi := int32(1), 0, 1; lo < hi; d++ {
 		if hybrid && bfs.ShouldBottomUp(hi-lo, n-hi, st.hybridFrac) {
@@ -119,7 +131,7 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 			// one level up; σ is the sum over all such parents — the same
 			// integer sum top-down accumulates edge by edge.
 			for wi := 0; wi<<6 < n; wi++ {
-				word, base := unvisitedWord(st.visited, wi, n)
+				word, base := unvisitedWord(visited, wi, n)
 				for word != 0 {
 					tz := bits.TrailingZeros64(word)
 					word &= word - 1
@@ -133,22 +145,22 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 					if sv != 0 {
 						dist[v] = d
 						sigma[v] = sv
-						st.visited.Set(int(v))
-						st.order = append(st.order, v)
+						visited.Set(int(v))
+						order = append(order, v)
 					}
 				}
 			}
 		} else {
 			for i := lo; i < hi; i++ {
-				u := st.order[i]
+				u := order[i]
 				du1 := dist[u] + 1
 				for _, w := range sg.Out(u) {
 					if dist[w] < 0 {
 						dist[w] = du1
 						if hybrid {
-							st.visited.Set(int(w))
+							visited.Set(int(w))
 						}
-						st.order = append(st.order, w)
+						order = append(order, w)
 					}
 					if dist[w] == du1 {
 						sigma[w] += sigma[u]
@@ -156,15 +168,16 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 				}
 			}
 		}
-		lo, hi = hi, len(st.order)
+		lo, hi = hi, len(order)
 	}
+	st.ws.Order = order
 
 	// Phase 2: backward accumulation in reverse BFS order.
 	sIsArt := sg.IsArt[s]
 	betaS := sg.Beta[s]
 	gammaS := float64(sg.Gamma[s])
-	for i := len(st.order) - 1; i >= 0; i-- {
-		v := st.order[i]
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
 		var i2i, i2o, o2o float64
 		sv := sigma[v]
 		dv1 := dist[v] + 1
@@ -193,7 +206,7 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 			if sIsArt {
 				contrib += betaS * i2i // δ_o2i = β(s)·δ_i2i (Eq. 5)
 			}
-			st.bcLocal[v] += contrib
+			bcLocal[v] += contrib
 		} else if gammaS > 0 {
 			root := i2i + i2o
 			if sIsArt {
@@ -209,22 +222,23 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 				// not count toward its own dependency.
 				root--
 			}
-			st.bcLocal[v] += gammaS * root
+			bcLocal[v] += gammaS * root
 		}
 	}
 
-	// Sparse reset: only dist, sigma and visited carry state across roots.
-	// traversed keeps its pre-hybrid definition — Σ outdeg over visited
-	// vertices (what a pure top-down sweep examines) — so the work metric
-	// stays comparable across scheduler and sweep-mode choices.
-	for _, v := range st.order {
+	// Sparse reset: only dist, sigma and visited carry state across roots,
+	// and order is exactly the dirty list — O(touched), the pool's lazy-reset
+	// contract. traversed keeps its pre-hybrid definition — Σ outdeg over
+	// visited vertices (what a pure top-down sweep examines) — so the work
+	// metric stays comparable across scheduler and sweep-mode choices.
+	for _, v := range order {
 		st.traversed += int64(len(sg.Out(v)))
 		dist[v] = -1
 		sigma[v] = 0
 	}
 	if hybrid {
-		for _, v := range st.order {
-			st.visited.Clear(int(v))
+		for _, v := range order {
+			visited.Clear(int(v))
 		}
 	}
 }
@@ -232,19 +246,14 @@ func (st *serialState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 // fineState processes one (large) sub-graph with fine-grained
 // level-synchronous parallelism: frontier-parallel σ BFS with atomic adds
 // and a successor-pull backward sweep with owned writes, exactly the
-// paper's Algorithm 2 phase structure.
+// paper's Algorithm 2 phase structure. Per-vertex arrays come from the same
+// pooled ws.Sweep as the serial engine; the frontier buckets and bag are
+// engine-private.
 type fineState struct {
 	p         int
-	alloc     int // allocated length of the per-vertex slices below
-	dist      []int32
-	sigma     []float64
-	di2i      []float64
-	di2o      []float64
-	do2o      []float64
-	visited   *bitset.Bitset
+	ws        *ws.Sweep
 	buckets   [][]int32
 	bag       *par.Bag[int32]
-	bcLocal   []float64
 	traversed int64
 
 	// hybridFrac mirrors serialState.hybridFrac: the vertex-ratio threshold
@@ -261,31 +270,31 @@ func newFineState(p int) *fineState {
 	return &fineState{p: p, bag: par.NewBag[int32](p)}
 }
 
-// ensure sizes the scratch for a sub-graph of n local vertices. Like
-// serialState.ensure it preserves the "dist == -1 everywhere" invariant
-// (runRoot's sparse resets maintain it across roots and sub-graphs), so a
-// single fineState can serve every large sub-graph without reallocating.
+// ensure mirrors serialState.ensure: one pooled sweep serves every large
+// sub-graph without reallocating, its invariants maintained by runRoot's
+// resets.
 func (st *fineState) ensure(n int) {
-	if st.alloc >= n {
+	if st.ws == nil {
+		st.ws = sweepPool.Get(n)
 		return
 	}
-	st.alloc = n
-	st.dist = make([]int32, n)
-	for i := range st.dist {
-		st.dist[i] = -1
+	st.ws.Grow(n)
+}
+
+// release returns the scratch to the pool (see serialState.release).
+func (st *fineState) release() {
+	if st.ws != nil {
+		sweepPool.Put(st.ws)
+		st.ws = nil
 	}
-	st.sigma = make([]float64, n)
-	st.di2i = make([]float64, n)
-	st.di2o = make([]float64, n)
-	st.do2o = make([]float64, n)
-	st.visited = bitset.New(n)
-	st.bcLocal = make([]float64, n)
 }
 
 func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 	p := st.p
-	dist, sigma := st.dist, st.sigma
-	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	dist, sigma := st.ws.Dist, st.ws.Sigma
+	di2i, di2o, do2o := st.ws.Di2i, st.ws.Di2o, st.ws.Do2o
+	bcLocal := st.ws.BC
+	visited := st.ws.Visited
 	n := sg.NumVerts()
 	hybrid := st.hybridFrac > 0 && sg.HasIn()
 
@@ -295,7 +304,7 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 	st.buckets = st.buckets[:0]
 	dist[s] = 0
 	sigma[s] = 1
-	st.visited.Set(int(s))
+	visited.Set(int(s))
 	st.buckets = append(st.buckets, []int32{s})
 	frontier := st.buckets[0]
 	discovered := 1
@@ -304,7 +313,7 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 			// Bottom-up, one visited-bitset word per index: the word owner is
 			// the only writer of its bits and of dist/σ for its vertices.
 			par.ForWorker((n+63)/64, p, 0, func(w, wi int) {
-				word, base := unvisitedWord(st.visited, wi, n)
+				word, base := unvisitedWord(visited, wi, n)
 				for word != 0 {
 					tz := bits.TrailingZeros64(word)
 					word &= word - 1
@@ -318,7 +327,7 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 					if sv != 0 {
 						atomic.StoreInt32(&dist[v], d)
 						sigma[v] = sv
-						st.visited.Set(int(v))
+						visited.Set(int(v))
 						st.bag.Add(w, v)
 					}
 				}
@@ -328,7 +337,7 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 				u := frontier[i]
 				su := sigma[u]
 				for _, v := range sg.Out(u) {
-					if st.visited.TrySet(int(v)) {
+					if visited.TrySet(int(v)) {
 						atomic.StoreInt32(&dist[v], d)
 						st.bag.Add(w, v)
 						atomicAddFloat64(&sigma[v], su)
@@ -384,7 +393,7 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 				if sIsArt {
 					contrib += betaS * i2i
 				}
-				st.bcLocal[v] += contrib
+				bcLocal[v] += contrib
 			} else if gammaS > 0 {
 				root := i2i + i2o
 				if sIsArt {
@@ -393,12 +402,13 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 				if !directed {
 					root--
 				}
-				st.bcLocal[v] += gammaS * root
+				bcLocal[v] += gammaS * root
 			}
 		})
 	}
 
-	// Reset.
+	// Reset. The buckets are the dirty list here; the visited bitset was
+	// written word-parallel, so a word-granular Reset is the cheap option.
 	for _, bucket := range st.buckets {
 		for _, v := range bucket {
 			st.traversed += int64(len(sg.Out(v)))
@@ -406,5 +416,5 @@ func (st *fineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 			sigma[v] = 0
 		}
 	}
-	st.visited.Reset()
+	visited.Reset()
 }

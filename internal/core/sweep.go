@@ -16,6 +16,11 @@ import (
 // accumulated scores with dst sized to that sub-graph's NumVerts before
 // switching to another sub-graph. Collect zeroes the internal buffer, which
 // keeps the scratch reusable across sub-graphs of different sizes.
+//
+// The scratch itself is a pooled ws.Sweep checked out of the shared core
+// arena on the first Run; long-lived holders (the cached bcd estimator keeps
+// one RootSweep per worker warm across requests) should call Release when
+// idle or discarded so the workspace returns to the pool.
 type RootSweep struct {
 	st serialState
 }
@@ -42,12 +47,30 @@ func (rs *RootSweep) Run(sg *decompose.Subgraph, root int32, directed bool) {
 // vertices into dst and zeroes the internal buffer, leaving the sweep ready
 // for the next sub-graph or pivot batch.
 func (rs *RootSweep) Collect(dst []float64) {
+	if rs.st.ws == nil {
+		return
+	}
+	bc := rs.st.ws.BC
 	for l := range dst {
-		dst[l] += rs.st.bcLocal[l]
-		rs.st.bcLocal[l] = 0
+		dst[l] += bc[l]
+		bc[l] = 0
 	}
 }
 
 // Traversed returns the total number of arcs traversed by all Run calls so
 // far (the paper's work metric).
 func (rs *RootSweep) Traversed() int64 { return rs.st.traversed }
+
+// Release returns the pooled workspace to the shared arena. The sweep stays
+// usable — the next Run checks a workspace out again — but callers must
+// Collect any pending scores first (Release drops them back into the pool's
+// clean state by zeroing the accumulation buffer).
+func (rs *RootSweep) Release() {
+	if rs.st.ws == nil {
+		return
+	}
+	for l := range rs.st.ws.BC {
+		rs.st.ws.BC[l] = 0
+	}
+	rs.st.release()
+}

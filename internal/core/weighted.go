@@ -9,6 +9,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/ws"
 )
 
 // Weighted APGRE — our extension of the paper beyond its unweighted scope.
@@ -105,8 +106,9 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 			for _, s := range sg.Roots {
 				st.runRoot(sg, s, directed)
 			}
-			flushLocal(bc, sg, st.bcLocal)
+			flushLocal(bc, sg, st.ws.BC)
 			traversed += st.traversed
+			st.release()
 		} else {
 			// Root-parallel: workers own private Dijkstra states and
 			// partial BC arrays.
@@ -120,12 +122,17 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 				}
 				st.runRoot(sg, sg.Roots[ri], directed)
 			})
+			n := sg.NumVerts()
 			for _, st := range states {
 				if st == nil {
 					continue
 				}
-				flushLocal(bc, sg, st.bcLocal)
+				flushLocal(bc, sg, st.ws.BC)
+				for l := range st.ws.BC[:n] {
+					st.ws.BC[l] = 0
+				}
 				traversed += st.traversed
+				st.release()
 			}
 		}
 		roots += int64(len(sg.Roots))
@@ -142,14 +149,19 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 		for _, s := range sg.Roots {
 			st.runRoot(sg, s, directed)
 		}
-		flushLocalAtomic(bc, sg, st.bcLocal)
-		for l := range st.bcLocal[:sg.NumVerts()] {
-			st.bcLocal[l] = 0
+		flushLocalAtomic(bc, sg, st.ws.BC)
+		for l := range st.ws.BC[:sg.NumVerts()] {
+			st.ws.BC[l] = 0
 		}
 		atomic.AddInt64(&traversed, st.traversed)
 		st.traversed = 0
 		atomic.AddInt64(&roots, int64(len(sg.Roots)))
 	})
+	for _, st := range states {
+		if st != nil {
+			st.release()
+		}
+	}
 
 	if opt.Breakdown != nil {
 		opt.Breakdown.Partition = tm.Partition
@@ -164,36 +176,32 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 	return bc, nil
 }
 
-// weightedState is the per-worker scratch for the weighted engine.
+// weightedState is the per-worker scratch for the weighted engine. Like
+// serialState it draws its per-vertex arrays from the shared pooled ws.Sweep
+// (using the weighted extension: FDist for float distances, Done for settled
+// flags); only the Dijkstra heap is engine-private.
 type weightedState struct {
-	alloc     int
-	dist      []float64
-	sigma     []float64
-	di2i      []float64
-	di2o      []float64
-	do2o      []float64
-	done      []bool
-	order     []int32
+	ws        *ws.Sweep
 	pq        wheap
-	bcLocal   []float64
 	traversed int64
 }
 
+// ensure checks weighted sweep scratch out of the shared pool; the "dist ==
+// -1 / done == false everywhere" invariants are guaranteed by the pool and
+// maintained by runRoot's sparse resets.
 func (st *weightedState) ensure(n int) {
-	if st.alloc >= n {
-		return
+	if st.ws == nil {
+		st.ws = sweepPool.Get(0)
 	}
-	st.alloc = n
-	st.dist = make([]float64, n)
-	for i := range st.dist {
-		st.dist[i] = -1
+	st.ws.GrowWeighted(n)
+}
+
+// release returns the scratch to the pool (BC must be drained first).
+func (st *weightedState) release() {
+	if st.ws != nil {
+		sweepPool.Put(st.ws)
+		st.ws = nil
 	}
-	st.sigma = make([]float64, n)
-	st.di2i = make([]float64, n)
-	st.di2o = make([]float64, n)
-	st.do2o = make([]float64, n)
-	st.done = make([]bool, n)
-	st.bcLocal = make([]float64, n)
 }
 
 type wheapItem struct {
@@ -218,11 +226,13 @@ func (q *wheap) Pop() any {
 // runRoot is Algorithm 2 with Dijkstra: identical four-dependency backward
 // accumulation as the unweighted serialState, over the settled order.
 func (st *weightedState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
-	dist, sigma := st.dist, st.sigma
-	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	dist, sigma := st.ws.FDist, st.ws.Sigma
+	di2i, di2o, do2o := st.ws.Di2i, st.ws.Di2o, st.ws.Do2o
+	bcLocal := st.ws.BC
+	done := st.ws.Done
 
 	// Phase 1: Dijkstra with σ counting.
-	st.order = st.order[:0]
+	order := st.ws.Order[:0]
 	st.pq = st.pq[:0]
 	dist[s] = 0
 	sigma[s] = 1
@@ -230,11 +240,11 @@ func (st *weightedState) runRoot(sg *decompose.Subgraph, s int32, directed bool)
 	for st.pq.Len() > 0 {
 		it := heap.Pop(&st.pq).(wheapItem)
 		v := it.v
-		if st.done[v] || it.d != dist[v] {
+		if done[v] || it.d != dist[v] {
 			continue
 		}
-		st.done[v] = true
-		st.order = append(st.order, v)
+		done[v] = true
+		order = append(order, v)
 		out := sg.Out(v)
 		wts := sg.OutWeights(v)
 		st.traversed += int64(len(out))
@@ -251,12 +261,14 @@ func (st *weightedState) runRoot(sg *decompose.Subgraph, s int32, directed bool)
 		}
 	}
 
+	st.ws.Order = order
+
 	// Phase 2: backward four-dependency accumulation (cf. serialState).
 	sIsArt := sg.IsArt[s]
 	betaS := sg.Beta[s]
 	gammaS := float64(sg.Gamma[s])
-	for i := len(st.order) - 1; i >= 0; i-- {
-		v := st.order[i]
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
 		var i2i, i2o, o2o float64
 		sv := sigma[v]
 		out := sg.Out(v)
@@ -286,7 +298,7 @@ func (st *weightedState) runRoot(sg *decompose.Subgraph, s int32, directed bool)
 			if sIsArt {
 				contrib += betaS * i2i
 			}
-			st.bcLocal[v] += contrib
+			bcLocal[v] += contrib
 		} else if gammaS > 0 {
 			root := i2i + i2o
 			if sIsArt {
@@ -295,13 +307,14 @@ func (st *weightedState) runRoot(sg *decompose.Subgraph, s int32, directed bool)
 			if !directed {
 				root--
 			}
-			st.bcLocal[v] += gammaS * root
+			bcLocal[v] += gammaS * root
 		}
 	}
 
-	for _, v := range st.order {
+	// Sparse reset over the settled order (the dirty list).
+	for _, v := range order {
 		dist[v] = -1
 		sigma[v] = 0
-		st.done[v] = false
+		done[v] = false
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/sssp"
+	"repro/internal/ws"
 )
 
 // Fine-grained parallel weighted engine: the weighted analogue of the
@@ -17,56 +18,67 @@ import (
 // — with positive weights no shortest-path DAG arc connects two vertices at
 // equal distance, so each group's vertices are mutually independent and all
 // writes are owned, exactly like the unweighted per-level phases.
+//
+// Per-vertex σ/δ/BC scratch comes from the shared pooled ws.Sweep;
+// distances live in a reusable sssp.Workspace (delta-stepping overwrites the
+// whole array per root, so it cannot share the sweep's invariant-carrying
+// FDist).
 type weightedFineState struct {
 	p     int
 	lg    *graph.Graph // sub-graph materialized over local ids
+	ws    *ws.Sweep
+	wsp   sssp.Workspace
 	dist  []float64
-	sigma []float64
-	di2i  []float64
-	di2o  []float64
-	do2o  []float64
-	order []int32 // reached vertices sorted by distance
 	delta float64
-	// groups[i] = [start, end) index range of order with equal distance.
+	// groupEnds[i] = end index (into order) of the i-th equal-distance group.
 	groupEnds []int32
-	bcLocal   []float64
 	traversed int64
 }
 
 func newWeightedFineState(sg *decompose.Subgraph, p int) *weightedFineState {
-	n := sg.NumVerts()
 	lg := sg.AsGraph()
 	lg.EnsureTranspose()
-	return &weightedFineState{
-		p:       p,
-		lg:      lg,
-		sigma:   make([]float64, n),
-		di2i:    make([]float64, n),
-		di2o:    make([]float64, n),
-		do2o:    make([]float64, n),
-		delta:   sssp.DefaultDelta(lg),
-		bcLocal: make([]float64, n),
+	st := &weightedFineState{
+		p:     p,
+		lg:    lg,
+		ws:    sweepPool.Get(sg.NumVerts()),
+		delta: sssp.DefaultDelta(lg),
 	}
+	return st
+}
+
+// release drains the local BC accumulator (the caller flushed it already)
+// and returns the pooled sweep.
+func (st *weightedFineState) release() {
+	if st.ws == nil {
+		return
+	}
+	for l := range st.ws.BC[:st.lg.NumVertices()] {
+		st.ws.BC[l] = 0
+	}
+	sweepPool.Put(st.ws)
+	st.ws = nil
 }
 
 func (st *weightedFineState) runRoot(sg *decompose.Subgraph, s int32, directed bool) {
 	lg := st.lg
 	n := sg.NumVerts()
 
-	// Phase 1a: parallel delta-stepping distances.
-	st.dist = sssp.DeltaStepping(lg, s, st.delta, st.p)
+	// Phase 1a: parallel delta-stepping distances (workspace-reusing form —
+	// one warm state serves every root without reallocating).
+	st.dist = st.wsp.DeltaStepping(lg, s, st.delta, st.p)
 	dist := st.dist
 
 	// Phase 1b: order reached vertices by distance and form equal-distance
 	// groups.
-	st.order = st.order[:0]
+	order := st.ws.Order[:0]
 	for v := int32(0); int(v) < n; v++ {
 		if !math.IsInf(dist[v], 1) {
-			st.order = append(st.order, v)
+			order = append(order, v)
 		}
 	}
-	order := st.order
 	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	st.ws.Order = order
 	st.groupEnds = st.groupEnds[:0]
 	for i := 1; i <= len(order); i++ {
 		if i == len(order) || dist[order[i]] != dist[order[i-1]] {
@@ -76,7 +88,7 @@ func (st *weightedFineState) runRoot(sg *decompose.Subgraph, s int32, directed b
 
 	// Phase 1c: σ pull per group, ascending. Within a group writes are
 	// owned (no equal-distance DAG arcs under positive weights).
-	sigma := st.sigma
+	sigma := st.ws.Sigma
 	groupStart := int32(0)
 	for _, end := range st.groupEnds {
 		grp := order[groupStart:end]
@@ -103,7 +115,8 @@ func (st *weightedFineState) runRoot(sg *decompose.Subgraph, s int32, directed b
 	sIsArt := sg.IsArt[s]
 	betaS := sg.Beta[s]
 	gammaS := float64(sg.Gamma[s])
-	di2i, di2o, do2o := st.di2i, st.di2o, st.do2o
+	di2i, di2o, do2o := st.ws.Di2i, st.ws.Di2o, st.ws.Do2o
+	bcLocal := st.ws.BC
 	for gi := len(st.groupEnds) - 1; gi >= 0; gi-- {
 		start := int32(0)
 		if gi > 0 {
@@ -141,7 +154,7 @@ func (st *weightedFineState) runRoot(sg *decompose.Subgraph, s int32, directed b
 				if sIsArt {
 					contrib += betaS * i2i
 				}
-				st.bcLocal[v] += contrib
+				bcLocal[v] += contrib
 			} else if gammaS > 0 {
 				root := i2i + i2o
 				if sIsArt {
@@ -150,11 +163,13 @@ func (st *weightedFineState) runRoot(sg *decompose.Subgraph, s int32, directed b
 				if !directed {
 					root--
 				}
-				st.bcLocal[v] += gammaS * root
+				bcLocal[v] += gammaS * root
 			}
 		})
 	}
 
+	// Sparse reset over the reached order (σ is the only invariant-carrying
+	// array this engine touches).
 	for _, v := range order {
 		st.traversed += int64(len(lg.Out(v)))
 		sigma[v] = 0

@@ -1,0 +1,73 @@
+package decompose
+
+// Copy-on-write clone support for immutable decomposition epochs
+// (internal/core.Incremental): a mutation never edits the published
+// decomposition in place. Instead the mutator shallow-clones the
+// Decomposition, swaps cloned Subgraphs in for the ones a mutation will
+// write, applies MutateEdge/RefreshRoots/RecomputeAlphaBeta to the clones,
+// and publishes the finished epoch with one atomic pointer store. Readers
+// holding the previous epoch keep a fully consistent, never-changing view.
+//
+// The clones share everything a mutation does not write. Both flavors drop
+// the lazy caches (asGraph, the EnsureIn transpose) rather than share them:
+// the originals' caches may be built concurrently by readers of the old
+// epoch, and reading the cache fields outside their sync.Once would race.
+// Clones rebuild the caches lazily if and when an engine needs them.
+
+// CloneShallow returns a Decomposition sharing every Subgraph (and the
+// graph) with d. Callers replace entries of the returned Subgraphs slice
+// with clones before mutating, and swap in the post-mutation graph with
+// SetGraph.
+func (d *Decomposition) CloneShallow() *Decomposition {
+	return &Decomposition{
+		G:               d.G,
+		Subgraphs:       append([]*Subgraph(nil), d.Subgraphs...),
+		TopIndex:        d.TopIndex,
+		NumArticulation: d.NumArticulation,
+		BCC:             d.BCC,
+	}
+}
+
+// CloneForMutation returns a copy of s prepared for MutateEdge followed by
+// RefreshRoots: the γ/root bookkeeping and α/β arrays are deep-copied
+// (RefreshRoots rewrites Gamma and reuses Roots' backing array in place;
+// RecomputeAlphaBeta rewrites Alpha/Beta), while the CSR, vertex list and
+// boundary flags are shared — MutateEdge replaces offs/adj wholesale rather
+// than editing them, so sharing the pre-mutation arrays is safe.
+func (s *Subgraph) CloneForMutation() *Subgraph {
+	return &Subgraph{
+		ID:       s.ID,
+		Verts:    s.Verts,
+		offs:     s.offs,
+		adj:      s.adj,
+		wts:      s.wts,
+		IsArt:    s.IsArt,
+		Arts:     s.Arts,
+		Alpha:    append([]float64(nil), s.Alpha...),
+		Beta:     append([]float64(nil), s.Beta...),
+		Gamma:    append([]int32(nil), s.Gamma...),
+		Roots:    append([]int32(nil), s.Roots...),
+		directed: s.directed,
+	}
+}
+
+// CloneForAlphaBeta returns a copy of s whose Alpha/Beta arrays are owned
+// (RecomputeAlphaBeta rewrites them for every sub-graph) and everything
+// else — CSR, vertex list, γ/roots — is shared with the original, which a
+// pure α/β refresh never touches.
+func (s *Subgraph) CloneForAlphaBeta() *Subgraph {
+	return &Subgraph{
+		ID:       s.ID,
+		Verts:    s.Verts,
+		offs:     s.offs,
+		adj:      s.adj,
+		wts:      s.wts,
+		IsArt:    s.IsArt,
+		Arts:     s.Arts,
+		Alpha:    append([]float64(nil), s.Alpha...),
+		Beta:     append([]float64(nil), s.Beta...),
+		Gamma:    s.Gamma,
+		Roots:    s.Roots,
+		directed: s.directed,
+	}
+}

@@ -2,9 +2,25 @@ package graphio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
+
+// binHeader assembles a binary-format header (magic, flags, n, arcs) plus an
+// optional degree table — the raw material for hardening tests and fuzz
+// seeds targeting ReadBinary's pre-allocation validation.
+func binHeader(flags uint32, n, arcs uint64, degs []uint32) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(binMagic)
+	binary.Write(&buf, binary.LittleEndian, flags)
+	binary.Write(&buf, binary.LittleEndian, n)
+	binary.Write(&buf, binary.LittleEndian, arcs)
+	if degs != nil {
+		binary.Write(&buf, binary.LittleEndian, degs)
+	}
+	return buf.Bytes()
+}
 
 // Fuzz targets: the parsers must never panic on arbitrary input — they
 // either return a graph or an error. Run with `go test -fuzz FuzzReadEdgeList
@@ -105,6 +121,14 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(valid[:len(valid)-3])
 	f.Add([]byte("APGR\x01garbage"))
 	f.Add([]byte{})
+	// Header claims 2 vertices / 1 arc but the first degree already exceeds
+	// the arc count (prefix sum past arcs).
+	f.Add(binHeader(0, 2, 1, []uint32{5, 0}))
+	// A degree that would wrap an int32 CSR offset (non-monotonic).
+	f.Add(binHeader(0, 2, 1, []uint32{0x8000_0000, 0}))
+	// Huge arc count with no adjacency payload: must fail on the degree
+	// stream, not allocate per the header's claim.
+	f.Add(binHeader(0, 4, 1<<30, nil))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Must never panic and never allocate absurdly (the header caps
 		// guard that); errors are fine.

@@ -323,35 +323,63 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	if n > 1<<31 || arcs > 1<<40 {
 		return nil, fmt.Errorf("graphio: implausible sizes n=%d arcs=%d", n, arcs)
 	}
-	degs := make([]uint32, n)
-	if err := binary.Read(br, binary.LittleEndian, degs); err != nil {
-		return nil, err
-	}
+	// Stream the degree table in bounded chunks, validating the derived CSR
+	// offsets as they accumulate: a degree that would wrap an int32 offset
+	// (non-monotonic in CSR space) or push the prefix sum past the declared
+	// arc count is rejected before the adjacency array is ever sized — a
+	// hostile header cannot make us allocate ahead of the data it actually
+	// ships. (append grows degs geometrically with bytes read, so a
+	// truncated stream costs memory proportional to its real length, not to
+	// the header's claim.)
+	const binChunk = 1 << 16
+	degs := make([]uint32, 0, min(n, binChunk))
+	buf := make([]uint32, min(n, binChunk))
 	var total uint64
-	for _, d := range degs {
-		total += uint64(d)
+	for read := uint64(0); read < n; {
+		chunk := buf[:min(n-read, binChunk)]
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		for i, d := range chunk {
+			if d > 1<<31-1 {
+				return nil, fmt.Errorf("graphio: vertex %d degree %d wraps the CSR offset (non-monotonic)", read+uint64(i), d)
+			}
+			total += uint64(d)
+			if total > arcs {
+				return nil, fmt.Errorf("graphio: degree prefix sum %d at vertex %d exceeds arc count %d", total, read+uint64(i), arcs)
+			}
+		}
+		degs = append(degs, chunk...)
+		read += uint64(len(chunk))
 	}
 	if total != arcs {
 		return nil, fmt.Errorf("graphio: degree sum %d != arc count %d", total, arcs)
 	}
 	directed := flags&1 != 0
-	adj := make([]int32, arcs)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
-		return nil, err
-	}
+	// Stream the adjacency the same way, walking the degree table in step;
+	// neighbors are range-checked as they arrive.
 	var edges []graph.Edge
-	pos := 0
-	for u := uint64(0); u < n; u++ {
-		for k := 0; k < int(degs[u]); k++ {
-			v := adj[pos]
-			pos++
+	abuf := make([]int32, min(arcs, binChunk))
+	u, consumed := uint64(0), uint32(0)
+	for read := uint64(0); read < arcs; {
+		chunk := abuf[:min(arcs-read, binChunk)]
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		for _, v := range chunk {
+			for consumed == degs[u] {
+				u++
+				consumed = 0
+			}
 			if v < 0 || uint64(v) >= n {
 				return nil, fmt.Errorf("graphio: neighbor %d out of range", v)
 			}
 			if directed || int32(u) <= v {
 				edges = append(edges, graph.Edge{From: int32(u), To: v})
 			}
+			consumed++
 		}
+		read += uint64(len(chunk))
 	}
 	return graph.NewFromEdges(int(n), edges, directed), nil
 }

@@ -157,6 +157,32 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestBinaryRejectsBadOffsets(t *testing.T) {
+	// Degree prefix sum exceeding the declared arc count must fail during
+	// the degree stream, before the adjacency array is sized.
+	bad := binHeader(0, 3, 2, []uint32{1, 5, 0})
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected prefix-sum-exceeds-arcs error")
+	}
+	// A degree that would wrap an int32 CSR offset is non-monotonic in
+	// offset space and must be rejected outright.
+	wrap := binHeader(0, 2, 1<<32, []uint32{0x8000_0000, 0x8000_0000})
+	if _, err := ReadBinary(bytes.NewReader(wrap)); err == nil {
+		t.Fatal("expected offset-wrap error")
+	}
+	// Degree sum smaller than the header's arc claim is also inconsistent.
+	short := binHeader(0, 2, 10, []uint32{1, 1})
+	if _, err := ReadBinary(bytes.NewReader(short)); err == nil {
+		t.Fatal("expected degree-sum mismatch error")
+	}
+	// A header claiming a huge arc count with no payload must fail cheaply
+	// on the missing degree stream instead of allocating per the claim.
+	huge := binHeader(0, 1<<20, 1<<39, nil)
+	if _, err := ReadBinary(bytes.NewReader(huge)); err == nil {
+		t.Fatal("expected error for payloadless huge header")
+	}
+}
+
 func TestLoadSaveFile(t *testing.T) {
 	dir := t.TempDir()
 	g := gen.Caveman(3, 4, false)

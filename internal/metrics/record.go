@@ -76,6 +76,11 @@ type Record struct {
 	// (core.Scheduler.String(): "dynamic", "static"). Empty for experiments
 	// that predate the scheduler option, keeping their keys stable.
 	Scheduler string `json:"scheduler,omitempty"`
+	// AllocsPerSweep is the mean heap allocations per root sweep (mallocs
+	// delta across the timed region divided by the root count) — the
+	// workspace arena keeps warm sweeps at ~0. Omitted by experiments that
+	// do not measure it; Compare gates it like wall time.
+	AllocsPerSweep float64 `json:"allocs_per_sweep,omitempty"`
 }
 
 // Key identifies a record for cross-document comparison. The worker count is
@@ -197,7 +202,7 @@ func ReadDocument(path string) (*Document, error) {
 // Regression is one gate violation found by Compare.
 type Regression struct {
 	Key string // Record.Key of the offending measurement
-	// Field is "wall_ns" or "traversed_arcs".
+	// Field is "wall_ns", "traversed_arcs" or "allocs_per_sweep".
 	Field    string
 	Old, New float64
 	// Pct is the relative growth in percent ((new-old)/old·100).
@@ -209,7 +214,8 @@ func (r Regression) String() string {
 }
 
 // Compare diffs two documents record-by-record and returns the regressions:
-// wall time or traversed arcs that grew by more than tolerancePct percent.
+// wall time, traversed arcs or per-sweep allocations that grew by more than
+// tolerancePct percent.
 // Records missing from either side are returned in missing (informational —
 // coverage changes are not regressions, but silent disappearance of a
 // measurement should be visible). Sentinel (zero/unsupported) measurements
@@ -237,6 +243,14 @@ func Compare(old, new *Document, tolerancePct float64) (regs []Regression, missi
 		oArcs, nArcs := arcsOf(o), arcsOf(n)
 		if reg, bad := regressed(key, "traversed_arcs", float64(oArcs), float64(nArcs), tolerancePct); bad {
 			regs = append(regs, reg)
+		}
+		// Allocation regressions get an absolute grace of one alloc per
+		// sweep on top of the relative tolerance: near zero, percentage
+		// growth is all noise.
+		if o.AllocsPerSweep > 0 && n.AllocsPerSweep > o.AllocsPerSweep+1 {
+			if reg, bad := regressed(key, "allocs_per_sweep", o.AllocsPerSweep, n.AllocsPerSweep, tolerancePct); bad {
+				regs = append(regs, reg)
+			}
 		}
 	}
 	for _, n := range new.Records {

@@ -141,6 +141,34 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareAllocs: per-sweep allocation growth is gated like wall time,
+// with an absolute one-alloc grace so near-zero noise never trips it.
+func TestCompareAllocs(t *testing.T) {
+	mkDoc := func(allocs float64) Document {
+		rec := NewRecorder(0.25, 4)
+		r := sampleRecord()
+		r.AllocsPerSweep = allocs
+		rec.Add(r)
+		return rec.Document()
+	}
+	oldDoc, newDoc := mkDoc(2), mkDoc(40)
+	regs, _ := Compare(&oldDoc, &newDoc, 10)
+	if len(regs) != 1 || regs[0].Field != "allocs_per_sweep" {
+		t.Fatalf("alloc regression not caught: %v", regs)
+	}
+	// Sub-one-alloc growth is within the absolute grace even when the
+	// relative growth is large.
+	oldDoc, newDoc = mkDoc(0.01), mkDoc(0.9)
+	if regs, _ := Compare(&oldDoc, &newDoc, 10); len(regs) != 0 {
+		t.Fatalf("near-zero alloc noise flagged: %v", regs)
+	}
+	// A zero-alloc baseline (field omitted) never gates.
+	oldDoc, newDoc = mkDoc(0), mkDoc(50)
+	if regs, _ := Compare(&oldDoc, &newDoc, 10); len(regs) != 0 {
+		t.Fatalf("absent baseline flagged: %v", regs)
+	}
+}
+
 func TestCompareMissing(t *testing.T) {
 	old := NewRecorder(0.25, 4)
 	old.Add(sampleRecord())

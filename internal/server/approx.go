@@ -2,17 +2,25 @@ package server
 
 // Approximate-mode serving: GET /v1/graphs/{name}/bc?mode=approx is answered
 // from a per-entry approx.Estimator cached next to the exact scores. The
-// estimator is built lazily from the entry's decomposition, refined just far
-// enough to satisfy each query (a pivot budget or an eps target), and kept
-// warm: after answering, one extra batch is refined in the background so
-// repeated queries converge toward exactness without blocking anyone.
-// Mutations drop the estimator (registry.go) since both the scores and the
-// decomposition it references may have changed.
+// estimator is built lazily from an epoch snapshot's decomposition, refined
+// just far enough to satisfy each query (a pivot budget or an eps target),
+// and kept warm: after answering, one extra batch is refined in the
+// background so repeated queries converge toward exactness without blocking
+// anyone.
+//
+// Invalidation is lazy and epoch-keyed: the estimator remembers the epoch
+// sequence number it sampled (Entry.estSeq). A mutation publishes a new
+// epoch without touching estimator state at all; the next approx query
+// compares the cached seq against the current snapshot's, releases the
+// stale estimator's pooled sweeps back to the core arena, and rebuilds from
+// the new epoch's decomposition — which is immutable, so sampling can
+// proceed concurrently with further mutations.
 
 import (
 	"math"
 
 	"repro/internal/approx"
+	"repro/internal/core"
 )
 
 // approxSeed fixes the serving estimator's sampling seed: responses are
@@ -33,37 +41,63 @@ type ApproxInfo struct {
 	Exact         bool    `json:"exact"`
 }
 
+// estimatorFor returns the entry's cached estimator, rebuilding it when the
+// cached one sampled an older epoch. Callers must hold e.estMu.
+func (e *Entry) estimatorFor(snap core.Snapshot) (*approx.Estimator, error) {
+	if e.est != nil && e.estSeq == snap.Seq {
+		return e.est, nil
+	}
+	if e.est != nil {
+		e.est.Release() // return the stale estimator's pooled sweeps
+		e.est = nil
+	}
+	est, err := approx.NewEstimator(snap.Decomposition, approx.Options{Seed: approxSeed})
+	if err != nil {
+		return nil, err
+	}
+	e.est, e.estSeq = est, snap.Seq
+	return est, nil
+}
+
+// dropEstimator releases the cached estimator's pooled workspaces (Unload).
+func (e *Entry) dropEstimator() {
+	e.estMu.Lock()
+	defer e.estMu.Unlock()
+	if e.est != nil {
+		e.est.Release()
+		e.est = nil
+	}
+}
+
 // ApproxBC serves approximate scores for e, refining the cached estimator to
 // the requested pivot budget (pivots > 0) or eps target (otherwise). The
 // returned slice is private to the caller.
 func (r *Registry) ApproxBC(e *Entry, pivots int, eps float64) ([]float64, ApproxInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	inc, err := e.readyLocked()
+	inc, err := e.ready()
 	if err != nil {
 		return nil, ApproxInfo{}, err
 	}
-	if e.est == nil {
-		est, err := approx.NewEstimator(inc.Decomposition(), approx.Options{Seed: approxSeed})
-		if err != nil {
-			return nil, ApproxInfo{}, err
-		}
-		e.est = est
+	snap := inc.Snapshot()
+	e.estMu.Lock()
+	defer e.estMu.Unlock()
+	est, err := e.estimatorFor(snap)
+	if err != nil {
+		return nil, ApproxInfo{}, err
 	}
-	before := e.est.Pivots()
+	before := est.Pivots()
 	if pivots > 0 {
-		e.est.EnsureBudget(pivots)
+		est.EnsureBudget(pivots)
 	} else {
-		e.est.EnsureEps(eps)
+		est.EnsureEps(eps)
 	}
 	info := ApproxInfo{
-		Pivots:        e.est.Pivots(),
-		ExactRoots:    e.est.ExactRoots(),
-		ErrorEstimate: finiteOrZero(e.est.ErrorEstimate()),
-		Exact:         e.est.Exact(),
+		Pivots:        est.Pivots(),
+		ExactRoots:    est.ExactRoots(),
+		ErrorEstimate: finiteOrZero(est.ErrorEstimate()),
+		Exact:         est.Exact(),
 	}
-	r.notifyApprox(e.name, e.est.Pivots()-before, info.ErrorEstimate)
-	scores := e.est.Estimate()
+	r.notifyApprox(e.name, est.Pivots()-before, info.ErrorEstimate)
+	scores := est.Estimate()
 	if !info.Exact {
 		r.refineInBackground(e)
 	}
@@ -72,16 +106,17 @@ func (r *Registry) ApproxBC(e *Entry, pivots int, eps float64) ([]float64, Appro
 
 // refineInBackground runs one extra batch on the entry's estimator off the
 // request path. At most one refinement goroutine per entry is in flight; it
-// re-checks the estimator under the lock because a mutation or unload may
-// have intervened.
+// re-checks the estimator under estMu because an unload or an epoch change
+// may have intervened (a stale estimator is left alone — the next query
+// replaces it).
 func (r *Registry) refineInBackground(e *Entry) {
 	if !e.refining.CompareAndSwap(false, true) {
 		return
 	}
 	go func() {
 		defer e.refining.Store(false)
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		e.estMu.Lock()
+		defer e.estMu.Unlock()
 		if e.est == nil || e.est.Exact() {
 			return
 		}

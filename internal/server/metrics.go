@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/server/promtext"
 )
@@ -21,6 +22,8 @@ type Metrics struct {
 	loads        *promtext.CounterVec    // status = ok | error | canceled
 	approxPivots *promtext.CounterVec    // graph
 	approxError  *promtext.FloatGaugeVec // graph
+	wsPoolSize   *promtext.GaugeVec      // (none)
+	wsInUse      *promtext.GaugeVec      // (none)
 }
 
 // NewMetrics builds the metric families.
@@ -50,6 +53,12 @@ func NewMetrics() *Metrics {
 			"Latest bootstrap CI half-width of the approximate-BC estimate "+
 				"on the normalized scale, by graph (0 once exact).",
 			"graph"),
+		wsPoolSize: reg.NewGauge("bcd_ws_pool_size",
+			"Sweep workspaces held by the shared engine arena "+
+				"(free + checked out), sampled at scrape time."),
+		wsInUse: reg.NewGauge("bcd_ws_in_use",
+			"Sweep workspaces currently checked out of the shared engine "+
+				"arena, sampled at scrape time."),
 	}
 	// Pre-register the low-cardinality series so scrapers see zeros instead
 	// of absent series before the first event.
@@ -59,7 +68,18 @@ func NewMetrics() *Metrics {
 	m.loads.With("error")
 	m.loads.With("canceled")
 	m.graphs.With()
+	m.wsPoolSize.With()
+	m.wsInUse.With()
 	return m
+}
+
+// SampleWorkspacePool refreshes the sweep-arena gauges from the core pool's
+// counters. The /metrics handler calls it per scrape — the gauges are
+// point-in-time samples, not event-driven.
+func (m *Metrics) SampleWorkspacePool() {
+	size, inUse := core.SweepPoolStats()
+	m.wsPoolSize.With().Set(int64(size))
+	m.wsInUse.With().Set(int64(inUse))
 }
 
 // Hook wires the metrics into a registry's lifecycle callbacks.

@@ -1,19 +1,29 @@
 // Package server is the serving subsystem behind the bcd daemon: a Registry
-// of named loaded graphs, each holding the graph, its cached decomposition,
-// current BC scores and a core.Incremental handle behind a per-graph RWMutex,
-// plus the net/http JSON API over it (server.go) and its Prometheus metrics
+// of named loaded graphs, each holding a core.Incremental handle, plus the
+// net/http JSON API over it (server.go) and its Prometheus metrics
 // (metrics.go).
 //
 // The decomposition-based structure is what makes serving cheap: biconnected
 // blocks and α/β/γ weights are computed once at load time and reused across
 // every query, and intra-block edge updates flow through core.Incremental
 // instead of recomputing the world.
+//
+// Concurrency model: core.Incremental publishes immutable epochs behind an
+// atomic pointer, so queries read through inc.Snapshot() without holding any
+// entry lock during the read — the per-entry RWMutex only guards the entry
+// lifecycle fields (state, error, the inc pointer itself), and a mutation's
+// exclusive window is the pointer swap inside the engine, not the recompute.
+// Per-request scratch (top-K ranking) and the engines' per-vertex sweep
+// state come from pooled arenas (sync.Pool here, internal/ws in core), so a
+// warm daemon serves queries without per-request heap allocation outside
+// JSON encoding.
 package server
 
 import (
 	"context"
 	"fmt"
 	"regexp"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -84,8 +94,9 @@ type LoadSpec struct {
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
-// Entry is one named graph in the registry. All fields behind mu; the
-// exported accessors take the lock.
+// Entry is one named graph in the registry. mu guards the lifecycle fields
+// only; once an entry is ready, queries go through inc.Snapshot() and never
+// hold mu while reading graph data.
 type Entry struct {
 	name string
 
@@ -97,10 +108,16 @@ type Entry struct {
 	loadedAt  time.Time
 	buildTime time.Duration
 
-	// est is the lazily built approximate-mode estimator (approx.go). It is
-	// derived from inc's decomposition, so Mutate drops it; refining guards
+	// est is the lazily built approximate-mode estimator (approx.go),
+	// pinned to the epoch sequence number it sampled (estSeq) — a mutation
+	// publishes a new epoch and the next approx query notices the stale seq
+	// and rebuilds, so Mutate never touches estimator state. estMu is
+	// separate from mu (never acquired while holding mu) so long-running
+	// refinement cannot block exact queries or mutations; refining guards
 	// the single background refinement goroutine.
+	estMu    sync.Mutex
 	est      *approx.Estimator
+	estSeq   uint64
 	refining atomic.Bool
 }
 
@@ -242,12 +259,9 @@ func (r *Registry) runBuild(j buildJob) {
 		fail("error", err)
 		return
 	}
-	if g.Directed() {
-		// Materialize the transpose while we still own the entry: In() builds
-		// it lazily without synchronization, which would race under
-		// concurrent read-locked queries.
-		inc.Graph().EnsureTranspose()
-	}
+	// No transpose pre-materialization needed here: the incremental engine
+	// ensures directed epochs publish with the transpose already built, so
+	// concurrent lock-free readers never trigger the lazy In() build.
 	j.e.mu.Lock()
 	j.e.inc = inc
 	j.e.state = StateReady
@@ -344,15 +358,17 @@ func (r *Registry) Get(name string) *Entry {
 	return r.graphs[name]
 }
 
-// Unload removes name from the registry. In-flight queries holding the
-// entry's lock finish on their reference; a build job still running for it
-// completes into the detached entry and is garbage afterwards.
+// Unload removes name from the registry. In-flight queries finish on their
+// epoch snapshots; a build job still running for it completes into the
+// detached entry and is garbage afterwards. The entry's cached estimator is
+// released so its pooled sweep workspaces return to the shared arena.
 func (r *Registry) Unload(name string) bool {
 	r.mu.Lock()
-	_, ok := r.graphs[name]
+	e, ok := r.graphs[name]
 	delete(r.graphs, name)
 	r.mu.Unlock()
 	if ok {
+		e.dropEstimator()
 		r.notifyCount(r.NumReady())
 	}
 	return ok
@@ -441,29 +457,33 @@ func (r *Registry) notifyCount(n int) {
 // Name returns the registry key.
 func (e *Entry) Name() string { return e.name }
 
-// Info snapshots the entry.
+// Info snapshots the entry. Graph-shaped fields come from one epoch
+// snapshot, so they are mutually consistent even while mutations land.
 func (e *Entry) Info() EntryInfo {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	info := EntryInfo{
 		Name:      e.name,
 		State:     e.state,
 		Error:     e.err,
 		Threshold: e.threshold,
 	}
-	if e.inc != nil {
-		g := e.inc.Graph()
-		d := e.inc.Decomposition()
+	inc := e.inc
+	if inc != nil {
+		at := e.loadedAt
+		info.LoadedAt = &at
+		info.BuildMs = float64(e.buildTime) / float64(time.Millisecond)
+	}
+	e.mu.RUnlock()
+	if inc != nil {
+		snap := inc.Snapshot()
+		g, d := snap.Graph, snap.Decomposition
 		info.Directed = g.Directed()
 		info.Verts = g.NumVertices()
 		info.Edges = g.NumEdges()
 		info.Subgraphs = len(d.Subgraphs)
 		info.BoundaryAPs = d.NumArticulation
-		info.LocalUpdates = e.inc.LocalUpdates
-		info.FullRebuilds = e.inc.FullRebuilds
-		at := e.loadedAt
-		info.LoadedAt = &at
-		info.BuildMs = float64(e.buildTime) / float64(time.Millisecond)
+		info.LocalUpdates = inc.LocalUpdates()
+		info.FullRebuilds = inc.FullRebuilds()
 	}
 	return info
 }
@@ -491,15 +511,32 @@ func (e *Entry) readyLocked() (*core.Incremental, error) {
 	return e.inc, nil
 }
 
-// BC returns a copy of the current scores.
-func (e *Entry) BC() ([]float64, error) {
+// ready fetches the incremental handle under a brief read lock. All query
+// paths go through it and then read epoch snapshots lock-free.
+func (e *Entry) ready() (*core.Incremental, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	inc, err := e.readyLocked()
+	return e.readyLocked()
+}
+
+// BC returns a copy of the current scores.
+func (e *Entry) BC() ([]float64, error) {
+	inc, err := e.ready()
 	if err != nil {
 		return nil, err
 	}
-	return inc.BC(), nil
+	return inc.Snapshot().BC(), nil
+}
+
+// BCView returns the current epoch's score vector without copying. The
+// epoch is immutable, so the slice is safe to read concurrently with
+// mutations — but it must not be written.
+func (e *Entry) BCView() ([]float64, error) {
+	inc, err := e.ready()
+	if err != nil {
+		return nil, err
+	}
+	return inc.Snapshot().BCView(), nil
 }
 
 // VertexScore pairs a vertex with its score.
@@ -509,32 +546,70 @@ type VertexScore struct {
 }
 
 // TopK returns the k highest-BC vertices (score desc, ties by vertex id) and
-// the total vertex count. k <= 0 means all vertices.
+// the total vertex count. k <= 0 means all vertices. The returned slice is
+// freshly allocated; the request path uses a rankScratch instead.
 func (e *Entry) TopK(k int) ([]VertexScore, int, error) {
-	bc, err := e.BC()
+	bc, err := e.BCView()
 	if err != nil {
 		return nil, 0, err
 	}
-	return topKOf(bc, k), len(bc), nil
+	var scr rankScratch
+	top := scr.topK(bc, k)
+	return append([]VertexScore(nil), top...), len(bc), nil
 }
 
-// topKOf ranks a score vector: score desc, ties by vertex id. k <= 0 means
-// all vertices. Shared by the exact and approximate bc endpoints.
-func topKOf(scores []float64, k int) []VertexScore {
-	all := make([]VertexScore, len(scores))
+// rankScratch is reusable top-K ranking scratch. Handlers check one out of
+// topKScratch per request and return it after the response is encoded, so a
+// warm daemon ranks without allocating.
+type rankScratch struct {
+	all []VertexScore
+}
+
+// topKScratch pools rankScratch instances across requests (and the census
+// path's redundancy sampling reuses the same pool through topKOf).
+var topKScratch = sync.Pool{New: func() any { return new(rankScratch) }}
+
+// compareVertexScore orders score desc, ties by vertex id. A named function
+// (not a capturing closure) keeps the sort allocation-free.
+func compareVertexScore(a, b VertexScore) int {
+	switch {
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	case a.Vertex < b.Vertex:
+		return -1
+	case a.Vertex > b.Vertex:
+		return 1
+	}
+	return 0
+}
+
+// topK ranks a score vector into the scratch's reusable buffer: score desc,
+// ties by vertex id, k <= 0 means all vertices. The returned slice aliases
+// the scratch and is valid until the next topK call on it.
+func (scr *rankScratch) topK(scores []float64, k int) []VertexScore {
+	if cap(scr.all) < len(scores) {
+		scr.all = make([]VertexScore, len(scores))
+	}
+	all := scr.all[:len(scores)]
 	for v, s := range scores {
 		all[v] = VertexScore{Vertex: graph.V(v), Score: s}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Vertex < all[j].Vertex
-	})
+	slices.SortFunc(all, compareVertexScore)
 	if k <= 0 || k > len(all) {
 		k = len(all)
 	}
 	return all[:k]
+}
+
+// topKOf is the convenience form over a pooled scratch for callers that can
+// tolerate one copy (k results, not n).
+func topKOf(scores []float64, k int) []VertexScore {
+	scr := topKScratch.Get().(*rankScratch)
+	top := append([]VertexScore(nil), scr.topK(scores, k)...)
+	topKScratch.Put(scr)
+	return top
 }
 
 // VertexInfo is the single-vertex view.
@@ -550,19 +625,20 @@ type VertexInfo struct {
 	IsArticulation bool `json:"is_articulation"`
 }
 
-// Vertex returns the per-vertex view of v.
+// Vertex returns the per-vertex view of v. Score, rank and degrees all come
+// from one epoch snapshot, so the view is internally consistent even if a
+// mutation lands mid-request.
 func (e *Entry) Vertex(v int) (VertexInfo, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	inc, err := e.readyLocked()
+	inc, err := e.ready()
 	if err != nil {
 		return VertexInfo{}, err
 	}
-	g := inc.Graph()
+	snap := inc.Snapshot()
+	g := snap.Graph
 	if v < 0 || v >= g.NumVertices() {
 		return VertexInfo{}, &VertexRangeError{Vertex: v, N: g.NumVertices()}
 	}
-	bc := inc.BC()
+	bc := snap.BCView()
 	info := VertexInfo{
 		Vertex:    graph.V(v),
 		Score:     bc[v],
@@ -579,7 +655,7 @@ func (e *Entry) Vertex(v int) (VertexInfo, error) {
 		in := g.InDegree(graph.V(v))
 		info.InDegree = &in
 	}
-	for _, sg := range inc.Decomposition().Subgraphs {
+	for _, sg := range snap.Decomposition.Subgraphs {
 		l := sg.LocalID(graph.V(v))
 		if l >= 0 && sg.IsArt[l] {
 			info.IsArticulation = true
@@ -598,16 +674,19 @@ func (e *VertexRangeError) Error() string {
 
 // Mutate inserts (add=true) or removes the edge (u,v) through the
 // incremental engine and reports whether the update stayed local or forced a
-// rebuild. The registry's mutate hook feeds the Prometheus counters.
+// rebuild. The entry lock is held only to fetch the handle: concurrent
+// mutators serialize inside the engine, readers keep serving the previous
+// epoch throughout the recompute, and the new epoch becomes visible with one
+// atomic pointer swap. The approximate-mode estimator is NOT touched here —
+// it notices the new epoch sequence number lazily (approx.go). The
+// registry's mutate hook feeds the Prometheus counters.
 func (r *Registry) Mutate(e *Entry, add bool, u, v int32) (MutationResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	inc, err := e.readyLocked()
+	inc, err := e.ready()
 	if err != nil {
 		return MutationResult{}, err
 	}
 	start := time.Now()
-	before := inc.FullRebuilds
+	before := inc.FullRebuilds()
 	if add {
 		err = inc.InsertEdge(u, v)
 	} else {
@@ -616,23 +695,19 @@ func (r *Registry) Mutate(e *Entry, add bool, u, v int32) (MutationResult, error
 	if err != nil {
 		return MutationResult{}, err
 	}
-	g := inc.Graph()
-	if g.Directed() {
-		g.EnsureTranspose() // see runBuild: lazy transpose would race later
-	}
+	snap := inc.Snapshot()
 	res := MutationResult{
 		Result: "local",
-		Verts:  g.NumVertices(),
-		Edges:  g.NumEdges(),
+		Verts:  snap.Graph.NumVertices(),
+		Edges:  snap.Graph.NumEdges(),
 		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	if inc.FullRebuilds > before {
+	// Rebuild attribution via the counter delta; with concurrent mutators
+	// the delta may credit a neighbor's rebuild, which only skews the
+	// local/rebuild metric split, never the scores.
+	if inc.FullRebuilds() > before {
 		res.Result = "rebuild"
 	}
-	// The scores changed (and on rebuild the decomposition the estimator
-	// holds references into was replaced): drop the approximate-mode cache so
-	// the next approx query samples fresh state.
-	e.est = nil
 	r.notifyMutate(res.Result)
 	return res, nil
 }
@@ -641,19 +716,18 @@ func (r *Registry) Mutate(e *Entry, add bool, u, v int32) (MutationResult, error
 // analysis is sampled above sampleCutoff vertices so the endpoint stays
 // cheap on big graphs.
 func (e *Entry) Census() (metrics.GraphCensus, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	inc, err := e.readyLocked()
+	inc, err := e.ready()
 	if err != nil {
 		return metrics.GraphCensus{}, err
 	}
-	g := inc.Graph()
+	snap := inc.Snapshot()
+	g := snap.Graph
 	const sampleCutoff = 4096
 	sampleK := 0
 	if g.NumVertices() > sampleCutoff {
 		sampleK = 64
 	}
-	return core.BuildCensus(e.name, g, inc.Decomposition(), core.CensusOptions{
+	return core.BuildCensus(e.name, g, snap.Decomposition, core.CensusOptions{
 		Threshold:         e.threshold,
 		RedundancySampleK: sampleK,
 		Seed:              1,

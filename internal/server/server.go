@@ -219,8 +219,10 @@ func (s *Server) handleBC(w http.ResponseWriter, r *http.Request) {
 	var scores []float64
 	switch mode := q.Get("mode"); mode {
 	case "", "exact":
+		// The epoch's score vector is immutable, so the handler serves it
+		// without copying; JSON encoding only reads it.
 		var err error
-		scores, err = e.BC()
+		scores, err = e.BCView()
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -264,7 +266,11 @@ func (s *Server) handleBC(w http.ResponseWriter, r *http.Request) {
 	if top == 0 {
 		resp.Scores = scores
 	} else {
-		resp.Top = topKOf(scores, top)
+		// Rank into pooled scratch; the slice aliases it, so the scratch
+		// goes back to the pool only after the response is encoded.
+		scr := topKScratch.Get().(*rankScratch)
+		defer topKScratch.Put(scr)
+		resp.Top = scr.topK(scores, top)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -360,6 +366,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.SampleWorkspacePool()
 	if _, err := s.m.WriteTo(w); err != nil && s.log != nil {
 		s.log.Printf("server: write metrics: %v", err)
 	}

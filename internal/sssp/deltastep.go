@@ -83,13 +83,63 @@ func DefaultDelta(g *graph.Graph) float64 {
 	return d
 }
 
+// Workspace holds reusable delta-stepping scratch — the distance array, the
+// relaxation bag, the bucket queue and a free list of consumed bucket slices
+// — so repeated single-source calls (the weighted fine engine runs one per
+// root) stop allocating once warm. The zero value is ready to use; a
+// Workspace is single-goroutine (the parallelism is inside each call).
+type Workspace struct {
+	dist    []float64
+	buckets [][]graph.V
+	settled []graph.V
+	reins   []graph.V
+	free    [][]graph.V
+	bag     *par.Bag[graph.V]
+	bagP    int
+}
+
+// grab returns an empty vertex slice, reusing a consumed bucket when one is
+// free.
+func (ws *Workspace) grab() []graph.V {
+	if k := len(ws.free) - 1; k >= 0 {
+		b := ws.free[k]
+		ws.free[k] = nil
+		ws.free = ws.free[:k]
+		return b[:0]
+	}
+	return nil
+}
+
+// pushBucket files v under bucket idx, growing the queue as needed.
+func (ws *Workspace) pushBucket(v graph.V, idx int) {
+	for len(ws.buckets) <= idx {
+		ws.buckets = append(ws.buckets, nil)
+	}
+	if ws.buckets[idx] == nil {
+		ws.buckets[idx] = ws.grab()
+	}
+	ws.buckets[idx] = append(ws.buckets[idx], v)
+}
+
 // DeltaStepping computes distances from s with bucketed parallel relaxation:
 // bucket i holds tentative distances in [iΔ, (i+1)Δ); light edges (w ≤ Δ)
 // are relaxed iteratively within the bucket, heavy edges once per settled
 // vertex. delta <= 0 selects DefaultDelta; workers <= 0 means GOMAXPROCS.
+// Each call allocates fresh scratch; loops over many sources should reuse a
+// Workspace instead.
 func DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []float64 {
+	return new(Workspace).DeltaStepping(g, s, delta, workers)
+}
+
+// DeltaStepping is the workspace-reusing form of the package-level function:
+// identical algorithm and results, but distances land in the workspace's own
+// array (valid until the next call) and all scratch is recycled.
+func (ws *Workspace) DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []float64 {
 	n := g.NumVertices()
-	dist := make([]float64, n)
+	if cap(ws.dist) < n {
+		ws.dist = make([]float64, n)
+	}
+	dist := ws.dist[:n:n]
 	for i := range dist {
 		dist[i] = Unreached
 	}
@@ -102,14 +152,25 @@ func DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []floa
 	p := par.Workers(workers)
 	dist[s] = 0
 
-	buckets := [][]graph.V{{s}}
-	bag := par.NewBag[graph.V](p)
+	for i := range ws.buckets {
+		if b := ws.buckets[i]; b != nil {
+			ws.buckets[i] = nil
+			ws.free = append(ws.free, b)
+		}
+	}
+	ws.buckets = ws.buckets[:0]
+	ws.pushBucket(s, 0)
+	if ws.bag == nil || ws.bagP != p {
+		ws.bag = par.NewBag[graph.V](p)
+		ws.bagP = p
+	}
+	bag := ws.bag
 	inBucket := func(v graph.V, i int) bool {
 		d := atomicLoadFloat(&dist[v])
 		return d >= float64(i)*delta && d < float64(i+1)*delta
 	}
 
-	// relaxInto atomically lowers dist[v] and reports whether it changed.
+	// relax atomically lowers dist[v] and reports whether it changed.
 	relax := func(v graph.V, nd float64) bool {
 		for {
 			old := atomicLoadFloat(&dist[v])
@@ -122,11 +183,11 @@ func DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []floa
 		}
 	}
 
-	for i := 0; i < len(buckets); i++ {
-		var settled []graph.V
+	for i := 0; i < len(ws.buckets); i++ {
+		settled := ws.settled[:0]
 		// Light-edge fixpoint within bucket i.
-		frontier := buckets[i]
-		buckets[i] = nil
+		frontier := ws.buckets[i]
+		ws.buckets[i] = nil
 		for len(frontier) > 0 {
 			cur := frontier
 			frontier = nil
@@ -149,12 +210,17 @@ func DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []floa
 				}
 			})
 			settled = append(settled, cur...)
-			reinserted := bag.Drain(nil)
+			reinserted := bag.Drain(ws.reins)
+			ws.reins = reinserted
+			ws.free = append(ws.free, cur) // consumed; recycle its backing array
 			for _, v := range reinserted {
 				if inBucket(v, i) {
+					if frontier == nil {
+						frontier = ws.grab()
+					}
 					frontier = append(frontier, v)
 				} else {
-					pushBucket(&buckets, v, int(atomicLoadFloat(&dist[v])/delta))
+					ws.pushBucket(v, int(atomicLoadFloat(&dist[v])/delta))
 				}
 			}
 		}
@@ -175,18 +241,13 @@ func DeltaStepping(g *graph.Graph, s graph.V, delta float64, workers int) []floa
 				}
 			}
 		})
-		for _, v := range bag.Drain(nil) {
-			pushBucket(&buckets, v, int(atomicLoadFloat(&dist[v])/delta))
+		ws.settled = settled[:0]
+		ws.reins = bag.Drain(ws.reins)
+		for _, v := range ws.reins {
+			ws.pushBucket(v, int(atomicLoadFloat(&dist[v])/delta))
 		}
 	}
 	return dist
-}
-
-func pushBucket(buckets *[][]graph.V, v graph.V, idx int) {
-	for len(*buckets) <= idx {
-		*buckets = append(*buckets, nil)
-	}
-	(*buckets)[idx] = append((*buckets)[idx], v)
 }
 
 func atomicLoadFloat(addr *float64) float64 {

@@ -1,0 +1,218 @@
+// Package ws provides the unified sweep-workspace arena shared by every
+// betweenness-centrality engine in the repository: the core APGRE serial,
+// fine-grained and weighted engines, the exported RootSweep used by the
+// approximate estimator, the Brandes baselines, and (through core's pool)
+// the bcd serving path.
+//
+// A Sweep bundles all per-vertex scratch one root sweep needs — distances,
+// path counts, the four dependency arrays, a local BC accumulator, a visited
+// bitset frontier and the BFS queue/order ring — sized by the largest
+// sub-graph it has seen. A Pool hands Sweeps out to workers (Get) and takes
+// them back (Put), so steady-state computation performs zero per-sweep heap
+// allocation: the arena grows to the high-water mark once and is reused by
+// every engine, request and worker thereafter.
+//
+// # Clean-slot invariants and lazy reset
+//
+// Instead of zeroing O(n) state per checkout, the arena relies on epoch-style
+// lazy clearing: every Sweep in the pool satisfies the clean-slot invariants
+//
+//	Dist[v]  == -1     FDist[v] == -1     Sigma[v] == 0
+//	BC[v]    == 0      Done[v]  == false  Visited   all clear
+//
+// and every engine restores them with a dirty-list sparse reset — walking
+// only the vertices its own sweep touched (the Order ring is exactly that
+// dirty list), which is O(touched), not O(n). Di2i/Di2o/Do2o carry no
+// invariant: the four-dependency backward step assigns each visited vertex's
+// slots exactly once per root, so they never need clearing at all. Grow
+// preserves the invariants for new slots, so a freshly grown region is
+// indistinguishable from a sparsely reset one — which is why pooling is
+// bit-neutral: an engine reading a clean slot cannot tell whether the value
+// came from make(), from a sparse reset, or from another engine's reset.
+package ws
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+// Sweep is one checkout of per-vertex sweep scratch. Field slices all have
+// length Cap() (Visited has at least that many bits); callers index them by
+// local vertex id. See the package comment for which fields carry clean-slot
+// invariants.
+type Sweep struct {
+	capV     int
+	weighted bool
+	gen      uint64 // checkout epoch, bumped by Pool.Get (diagnostics)
+	Dist     []int32
+	Sigma    []float64
+	Di2i     []float64
+	Di2o     []float64
+	Do2o     []float64
+	BC       []float64
+	Order    []int32 // BFS queue / settled-order ring; doubles as the dirty list
+	Visited  *bitset.Bitset
+	FDist    []float64 // weighted distances; allocated by GrowWeighted
+	Done     []bool    // Dijkstra settled flags; allocated by GrowWeighted
+}
+
+// Cap returns the number of vertices the sweep is sized for.
+func (s *Sweep) Cap() int { return s.capV }
+
+// Gen returns the checkout epoch (how many times Pool.Get handed this sweep
+// out). Purely diagnostic.
+func (s *Sweep) Gen() uint64 { return s.gen }
+
+// Grow sizes the sweep for n local vertices, preserving every clean-slot
+// invariant. Existing clean arrays hold only invariant values, so growth
+// replaces them wholesale instead of copying — O(new capacity), paid only
+// when the high-water mark rises.
+func (s *Sweep) Grow(n int) {
+	if s.capV >= n {
+		return
+	}
+	s.capV = n
+	s.Dist = make([]int32, n)
+	for i := range s.Dist {
+		s.Dist[i] = -1
+	}
+	s.Sigma = make([]float64, n)
+	s.Di2i = make([]float64, n)
+	s.Di2o = make([]float64, n)
+	s.Do2o = make([]float64, n)
+	s.BC = make([]float64, n)
+	s.Visited = bitset.New(n)
+	if s.weighted {
+		s.growWeighted()
+	}
+}
+
+// GrowWeighted is Grow plus the weighted-engine arrays (FDist, Done). Once
+// called, later Grow calls keep the weighted arrays sized too.
+func (s *Sweep) GrowWeighted(n int) {
+	s.Grow(n)
+	if !s.weighted || len(s.FDist) < s.capV {
+		s.weighted = true
+		s.growWeighted()
+	}
+}
+
+func (s *Sweep) growWeighted() {
+	s.FDist = make([]float64, s.capV)
+	for i := range s.FDist {
+		s.FDist[i] = -1
+	}
+	s.Done = make([]bool, s.capV)
+}
+
+// CheckClean verifies the clean-slot invariants over the whole capacity;
+// it exists for tests and debugging (engines rely on sparse resets instead).
+func (s *Sweep) CheckClean() error {
+	for v := 0; v < s.capV; v++ {
+		switch {
+		case s.Dist[v] != -1:
+			return fmt.Errorf("ws: dirty Dist[%d] = %d", v, s.Dist[v])
+		case s.Sigma[v] != 0:
+			return fmt.Errorf("ws: dirty Sigma[%d] = %g", v, s.Sigma[v])
+		case s.BC[v] != 0:
+			return fmt.Errorf("ws: dirty BC[%d] = %g", v, s.BC[v])
+		case s.Visited.Get(v):
+			return fmt.Errorf("ws: dirty Visited[%d]", v)
+		}
+		if s.weighted {
+			if s.FDist[v] != -1 {
+				return fmt.Errorf("ws: dirty FDist[%d] = %g", v, s.FDist[v])
+			}
+			if s.Done[v] {
+				return fmt.Errorf("ws: dirty Done[%d]", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Scrub unconditionally restores every invariant in O(cap); a recovery
+// hatch for callers that overwrote state wholesale (e.g. a dense distance
+// pass) and cannot enumerate what they touched.
+func (s *Sweep) Scrub() {
+	for i := range s.Dist {
+		s.Dist[i] = -1
+	}
+	for i := range s.Sigma {
+		s.Sigma[i] = 0
+	}
+	for i := range s.BC {
+		s.BC[i] = 0
+	}
+	s.Visited.Reset()
+	if s.weighted {
+		for i := range s.FDist {
+			s.FDist[i] = -1
+		}
+		for i := range s.Done {
+			s.Done[i] = false
+		}
+	}
+}
+
+// Pool is a concurrency-safe free list of Sweeps. The zero value is ready to
+// use. Get prefers the largest free sweep so small requests ride on already-
+// grown arenas instead of growing small ones; the pool therefore converges
+// on a few sweeps sized by the largest sub-graph, checked out per worker.
+type Pool struct {
+	mu    sync.Mutex
+	free  []*Sweep
+	size  int // sweeps ever created and not discarded
+	inUse int
+}
+
+// Get checks a sweep sized for n vertices out of the pool, creating one only
+// when the free list is empty. The caller has exclusive use until Put.
+func (p *Pool) Get(n int) *Sweep {
+	p.mu.Lock()
+	var s *Sweep
+	if len(p.free) > 0 {
+		best := 0
+		for i := 1; i < len(p.free); i++ {
+			if p.free[i].capV > p.free[best].capV {
+				best = i
+			}
+		}
+		s = p.free[best]
+		last := len(p.free) - 1
+		p.free[best] = p.free[last]
+		p.free[last] = nil
+		p.free = p.free[:last]
+	} else {
+		s = &Sweep{}
+		p.size++
+	}
+	p.inUse++
+	p.mu.Unlock()
+	s.gen++
+	s.Grow(n)
+	return s
+}
+
+// Put returns a sweep to the pool. The caller must have restored the
+// clean-slot invariants (the engines' dirty-list resets do) — the pool does
+// not scrub, that is the whole point. Put(nil) is a no-op.
+func (p *Pool) Put(s *Sweep) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.inUse--
+	p.mu.Unlock()
+}
+
+// Stats reports the pool gauges: size is the number of sweeps the pool has
+// created (free + checked out), inUse how many are currently checked out.
+func (p *Pool) Stats() (size, inUse int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size, p.inUse
+}
