@@ -16,6 +16,10 @@
 #   7. approx smoke: full-budget sampling must bit-match exact BC (the
 #      estimator's own K==n self-check on a tiny graph), plus the bcbench
 #      error-vs-speedup sweep at tiny scale
+#   8. durability smoke: race-built bcd is killed with SIGKILL mid-life and
+#      must recover its graph from snapshot+WAL with bit-exact top-K
+#   9. load smoke: bcdload drives a short mixed read/mutate phase against the
+#      recovered daemon; any non-200/429 answer fails the run
 set -eu
 cd "$(dirname "$0")"
 
@@ -88,5 +92,65 @@ go run ./cmd/bcbench -check -tolerance 5 "$artifact" "$artifact"
 echo "==> approx smoke: K==n bit-match + tiny error-vs-speedup sweep"
 go test -race -run 'TestExactBudgetBitMatch|TestSeededDeterminism' ./internal/approx
 go run ./cmd/bcbench -approx -datasets email-enron -scale 0.05 -json "$tmp/approx"
+
+echo "==> durability smoke: SIGKILL bcd, recover, compare top-K bit-exact"
+go build -race -o "$tmp/bcd" ./cmd/bcd
+go build -race -o "$tmp/bcdload" ./cmd/bcdload
+bcd_addr=127.0.0.1:8741
+bcd_pid=""
+trap '[ -n "${bcd_pid:-}" ] && kill "$bcd_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+wait_healthz() {
+    i=0
+    while ! curl -fsS "http://$bcd_addr/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "bcd never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+wait_ready() {
+    i=0
+    while ! curl -fsS "http://$bcd_addr/v1/graphs/$1" 2>/dev/null | grep -q '"state": "ready"'; do
+        i=$((i + 1))
+        [ "$i" -lt 300 ] || { echo "graph $1 never became ready" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+"$tmp/bcd" -addr "$bcd_addr" -quiet -data-dir "$tmp/bcddata" >"$tmp/bcd.log" 2>&1 &
+bcd_pid=$!
+wait_healthz
+curl -fsS -X POST "http://$bcd_addr/v1/graphs" -d \
+    '{"name":"kill","n":12,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[0,7]]}' \
+    >/dev/null
+wait_ready kill
+curl -fsS -X POST "http://$bcd_addr/v1/graphs/kill/edges?from=1&to=3" >/dev/null
+curl -fsS -X POST "http://$bcd_addr/v1/graphs/kill/edges?from=9&to=4" >/dev/null
+curl -fsS -X DELETE "http://$bcd_addr/v1/graphs/kill/edges?from=0&to=7" >/dev/null
+curl -fsS "http://$bcd_addr/v1/graphs/kill/bc?top=12" >"$tmp/top_before.json"
+kill -9 "$bcd_pid"
+wait "$bcd_pid" 2>/dev/null || true
+"$tmp/bcd" -addr "$bcd_addr" -quiet -data-dir "$tmp/bcddata" >"$tmp/bcd2.log" 2>&1 &
+bcd_pid=$!
+wait_healthz
+grep -q 'recovering 1 graph' "$tmp/bcd2.log" || {
+    echo "durability smoke: restart did not recover the graph" >&2
+    cat "$tmp/bcd2.log" >&2
+    exit 1
+}
+wait_ready kill
+curl -fsS "http://$bcd_addr/v1/graphs/kill/bc?top=12" >"$tmp/top_after.json"
+cmp "$tmp/top_before.json" "$tmp/top_after.json" || {
+    echo "durability smoke: recovered top-K differs from pre-kill top-K" >&2
+    exit 1
+}
+
+echo "==> load smoke: bcdload mixed read/mutate phase (429-only overload)"
+"$tmp/bcdload" -addr "http://$bcd_addr" -graph mix -dataset email-enron \
+    -scale 0.05 -readers 2 -mutators 1 -burst 4 -pace 300ms -top 5 \
+    -baseline 2s -duration 4s
+kill "$bcd_pid"
+wait "$bcd_pid" 2>/dev/null || true
+bcd_pid=""
 
 echo "ci.sh: all checks passed"

@@ -50,6 +50,12 @@ func main() {
 		preload   = flag.String("preload", "", "comma-separated name=dataset[:scale] graphs to load at startup")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+
+		dataDir    = flag.String("data-dir", "", "durability directory: per-graph WAL + snapshots, replayed on restart (empty = in-memory only)")
+		snapEvery  = flag.Int("snapshot-every", 256, "WAL records between snapshot compactions")
+		mutQueue   = flag.Int("mutation-queue", 128, "per-graph pending-mutation queue depth (beyond it: 429)")
+		mutBatch   = flag.Int("mutation-batch", 64, "max mutations coalesced into one epoch publish")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 overload responses")
 	)
 	flag.Parse()
 
@@ -60,11 +66,24 @@ func main() {
 	}
 
 	reg := server.NewRegistry(server.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		DefaultThreshold: *threshold,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultThreshold:   *threshold,
+		DataDir:            *dataDir,
+		SnapshotEvery:      *snapEvery,
+		MutationQueueDepth: *mutQueue,
+		MutationBatch:      *mutBatch,
+		RetryAfter:         *retryAfter,
 	})
 	srv := server.New(reg, reqLog)
+
+	// Recovery before preload: a graph that survives on disk wins over a
+	// -preload entry of the same name (Load would 409 on the conflict).
+	if names, err := reg.Recover(); err != nil {
+		logger.Fatalf("recover from %s: %v", *dataDir, err)
+	} else if len(names) > 0 {
+		logger.Printf("recovering %d graph(s) from %s: %s", len(names), *dataDir, strings.Join(names, ", "))
+	}
 
 	if err := preloadGraphs(reg, *preload); err != nil {
 		logger.Fatalf("preload: %v", err)
@@ -121,6 +140,12 @@ func preloadGraphs(reg *server.Registry, spec string) error {
 			scale = v
 		}
 		if _, err := reg.Load(server.LoadSpec{Name: name, Dataset: dataset, Scale: scale}); err != nil {
+			// A recovered durable graph already owns this name; keep it — it
+			// carries the mutation history the fresh dataset would lose.
+			var conflict *server.ConflictError
+			if errors.As(err, &conflict) {
+				continue
+			}
 			return err
 		}
 	}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestApplyBatchLocalSingleEpoch: a burst of intra-sub-graph mutations
+// spanning several sub-graphs must publish exactly one epoch, rebuild
+// nothing, and land on the same scores as applying them one at a time.
+func TestApplyBatchLocalSingleEpoch(t *testing.T) {
+	g := gen.Caveman(4, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0 := inc.Snapshot().Seq
+	// One removal per clique: each lands in a different sub-graph.
+	ops := []EdgeOp{
+		{Add: false, U: 1, V: 4},
+		{Add: false, U: 6, V: 9},
+		{Add: false, U: 11, V: 14},
+		{Add: false, U: 16, V: 19},
+	}
+	errs, err := inc.ApplyBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("op %d rejected: %v", i, e)
+		}
+	}
+	if seq := inc.Snapshot().Seq; seq != seq0+1 {
+		t.Fatalf("batch published %d epochs, want 1", seq-seq0)
+	}
+	if inc.FullRebuilds() != 0 {
+		t.Fatalf("local batch triggered %d rebuilds", inc.FullRebuilds())
+	}
+	if inc.LocalUpdates() != len(ops) {
+		t.Fatalf("LocalUpdates = %d, want %d", inc.LocalUpdates(), len(ops))
+	}
+	assertIncMatches(t, inc, "after local batch")
+}
+
+// TestApplyBatchStructuralOneRebuild: a batch containing several
+// cross-sub-graph insertions must pay for ONE rebuild, not one per edge.
+func TestApplyBatchStructuralOneRebuild(t *testing.T) {
+	g := gen.Caveman(3, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0 := inc.Snapshot().Seq
+	ops := []EdgeOp{
+		{Add: true, U: 1, V: 11}, // clique 0 <-> clique 2: structural
+		{Add: true, U: 2, V: 12}, // another structural insert
+		{Add: false, U: 6, V: 9}, // plus an intra-clique removal
+	}
+	errs, err := inc.ApplyBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("op %d rejected: %v", i, e)
+		}
+	}
+	if got := inc.FullRebuilds(); got != 1 {
+		t.Fatalf("rebuilds = %d, want 1 for the whole batch", got)
+	}
+	if seq := inc.Snapshot().Seq; seq != seq0+1 {
+		t.Fatalf("batch published %d epochs, want 1", seq-seq0)
+	}
+	assertIncMatches(t, inc, "after structural batch")
+}
+
+// TestApplyBatchSkipsInvalid: invalid ops are reported per index and
+// skipped; the valid remainder still applies.
+func TestApplyBatchSkipsInvalid(t *testing.T) {
+	g := gen.Caveman(3, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []EdgeOp{
+		{Add: true, U: 1, V: 2},   // already present: skipped
+		{Add: false, U: 1, V: 11}, // absent: skipped
+		{Add: true, U: 3, V: 3},   // self-loop: skipped
+		{Add: true, U: 0, V: 999}, // out of range: skipped
+		{Add: false, U: 6, V: 9},  // valid removal
+	}
+	errs, err := inc.ApplyBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if errs[i] == nil {
+			t.Fatalf("invalid op %d accepted", i)
+		}
+	}
+	if errs[4] != nil {
+		t.Fatalf("valid op rejected: %v", errs[4])
+	}
+	if inc.Graph().HasArc(6, 9) {
+		t.Fatal("valid removal not applied")
+	}
+	assertIncMatches(t, inc, "after mixed-validity batch")
+}
+
+// TestApplyBatchIntraBatchSequence: validation sees the batch's own earlier
+// ops, so remove-then-reinsert of the same edge inside one batch behaves
+// like sequential application — and still costs one epoch.
+func TestApplyBatchIntraBatchSequence(t *testing.T) {
+	g := gen.Caveman(3, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0 := inc.Snapshot().Seq
+	ops := []EdgeOp{
+		{Add: false, U: 6, V: 9},
+		{Add: true, U: 6, V: 9}, // valid only because the removal is staged
+	}
+	errs, err := inc.ApplyBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("staged sequence rejected: %v", errs)
+	}
+	if seq := inc.Snapshot().Seq; seq != seq0+1 {
+		t.Fatalf("batch published %d epochs, want 1", seq-seq0)
+	}
+	if !inc.Graph().HasArc(6, 9) {
+		t.Fatal("edge missing after remove+reinsert batch")
+	}
+	assertIncMatches(t, inc, "after staged sequence")
+}
+
+// TestApplyBatchAllInvalidNoPublish: a batch with nothing applicable must
+// not publish an epoch at all.
+func TestApplyBatchAllInvalidNoPublish(t *testing.T) {
+	g := gen.Caveman(3, 5, false)
+	inc, err := NewIncremental(g, Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0 := inc.Snapshot().Seq
+	errs, err := inc.ApplyBatch([]EdgeOp{
+		{Add: true, U: 1, V: 2},
+		{Add: true, U: 2, V: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] == nil || errs[1] == nil {
+		t.Fatalf("invalid ops accepted: %v", errs)
+	}
+	if seq := inc.Snapshot().Seq; seq != seq0 {
+		t.Fatalf("empty-effect batch published an epoch (seq %d -> %d)", seq0, seq)
+	}
+}
+
+// TestApplyBatchSoak drives random batched mutations and checks against
+// serial Brandes after every batch — the batched analogue of the
+// single-mutation soak.
+func TestApplyBatchSoak(t *testing.T) {
+	g := gen.SocialLike(gen.SocialParams{N: 90, AvgDeg: 4, Communities: 3,
+		TopShare: 0.5, LeafFrac: 0.3, Seed: 17})
+	inc, err := NewIncremental(g, Options{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	n := g.NumVertices()
+	for round := 0; round < 8; round++ {
+		ops := make([]EdgeOp, 0, 6)
+		for len(ops) < cap(ops) {
+			u := graph.V(rng.Intn(n))
+			v := graph.V(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			ops = append(ops, EdgeOp{Add: !inc.Graph().HasArc(u, v), U: u, V: v})
+		}
+		if _, err := inc.ApplyBatch(ops); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertIncMatches(t, inc, "soak round")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -247,39 +248,128 @@ func (inc *Incremental) validate(u, v graph.V) error {
 	return nil
 }
 
+// EdgeOp is one staged mutation for ApplyBatch: Add true inserts the edge
+// (U,V) — the arc U->V for directed graphs — and false removes it.
+type EdgeOp struct {
+	Add  bool
+	U, V graph.V
+}
+
 // InsertEdge adds the edge (u,v) — the arc u->v for directed graphs — and
 // updates the scores.
 func (inc *Incremental) InsertEdge(u, v graph.V) error {
-	if err := inc.validate(u, v); err != nil {
-		return err
-	}
-	inc.mu.Lock()
-	defer inc.mu.Unlock()
-	prev := inc.cur.Load()
-	if prev.g.HasArc(u, v) {
-		return fmt.Errorf("core: edge %d->%d already present", u, v)
-	}
-	inc.edges = append(inc.edges, graph.Edge{From: u, To: v})
-	si := commonSubgraph(prev.sgOf, u, v)
-	if si < 0 {
-		// Cross-sub-graph insertion fuses blocks along the tree path (or
-		// attaches an isolated vertex): structural, rebuild.
-		return inc.rebuild()
-	}
-	return inc.applyLocal(prev, si, true, u, v)
+	return inc.applyOne(EdgeOp{Add: true, U: u, V: v})
 }
 
 // RemoveEdge deletes the edge (u,v) — the arc u->v for directed graphs.
 func (inc *Incremental) RemoveEdge(u, v graph.V) error {
-	if err := inc.validate(u, v); err != nil {
+	return inc.applyOne(EdgeOp{Add: false, U: u, V: v})
+}
+
+func (inc *Incremental) applyOne(op EdgeOp) error {
+	errs, err := inc.ApplyBatch([]EdgeOp{op})
+	if err != nil {
 		return err
 	}
+	return errs[0]
+}
+
+// ApplyBatch applies ops in order and publishes at most ONE new epoch for
+// the whole batch — a burst of N mutations costs one pointer swap and, when
+// any op is structural, one full rebuild instead of N. Ops that fail
+// validation (self-loop, out-of-range vertex, duplicate insert, absent
+// removal — judged against the graph state with the batch's earlier ops
+// staged in) are skipped and reported per-index in the first return value;
+// the remaining ops all apply. The second return value is a batch-level
+// failure (decomposition error), after which no epoch was published.
+func (inc *Incremental) ApplyBatch(ops []EdgeOp) ([]error, error) {
+	errs := make([]error, len(ops))
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 	prev := inc.cur.Load()
-	if !prev.g.HasArc(u, v) {
-		return fmt.Errorf("core: edge %d->%d absent", u, v)
+
+	// Stage: validate each op against the current graph plus the batch's own
+	// earlier deltas, so intra-batch insert-then-remove sequences behave
+	// exactly as they would applied one at a time.
+	type arcKey struct{ u, v graph.V }
+	norm := func(u, v graph.V) arcKey {
+		if !inc.directed && u > v {
+			u, v = v, u
+		}
+		return arcKey{u, v}
 	}
+	staged := make(map[arcKey]bool, len(ops)) // key -> present after staged ops
+	present := func(u, v graph.V) bool {
+		if p, ok := staged[norm(u, v)]; ok {
+			return p
+		}
+		return prev.g.HasArc(u, v)
+	}
+	valid := 0
+	for i, op := range ops {
+		if err := inc.validate(op.U, op.V); err != nil {
+			errs[i] = err
+			continue
+		}
+		if op.Add && present(op.U, op.V) {
+			errs[i] = fmt.Errorf("core: edge %d->%d already present", op.U, op.V)
+			continue
+		}
+		if !op.Add && !present(op.U, op.V) {
+			errs[i] = fmt.Errorf("core: edge %d->%d absent", op.U, op.V)
+			continue
+		}
+		staged[norm(op.U, op.V)] = op.Add
+		valid++
+	}
+	if valid == 0 {
+		return errs, nil
+	}
+
+	// Apply the valid ops to the edge list and classify the batch: every op
+	// must stay inside one sub-graph for the local path; a cross-sub-graph
+	// insertion (block fusion), an isolated-vertex attachment, or an endpoint
+	// missing from its sub-graph forces the structural path — one rebuild for
+	// the whole batch, since rebuild() re-decomposes inc.edges which already
+	// carries every staged op.
+	structural := false
+	var locals []localOp
+	for i, op := range ops {
+		if errs[i] != nil {
+			continue
+		}
+		if op.Add {
+			inc.edges = append(inc.edges, graph.Edge{From: op.U, To: op.V})
+		} else {
+			inc.removeFromEdgeList(op.U, op.V)
+		}
+		if !op.Add && !inc.directed {
+			// An undirected removal may split a block internally; later
+			// insertions must refresh α/β until the next rebuild.
+			inc.splitSinceRebuild = true
+		}
+		si := commonSubgraph(prev.sgOf, op.U, op.V)
+		if si < 0 {
+			structural = true
+			continue
+		}
+		sg := prev.d.Subgraphs[si]
+		lu, lv := sg.LocalID(op.U), sg.LocalID(op.V)
+		if lu < 0 || lv < 0 {
+			structural = true
+			continue
+		}
+		locals = append(locals, localOp{si: si, add: op.Add, lu: lu, lv: lv, anyRemove: !op.Add})
+	}
+	if structural {
+		return errs, inc.rebuild()
+	}
+	return errs, inc.applyLocalBatch(prev, locals)
+}
+
+// removeFromEdgeList drops the first edge matching (u,v) — either
+// orientation for undirected graphs — from the mutable edge list.
+func (inc *Incremental) removeFromEdgeList(u, v graph.V) {
 	for i, e := range inc.edges {
 		match := e.From == u && e.To == v
 		if !inc.directed {
@@ -287,29 +377,31 @@ func (inc *Incremental) RemoveEdge(u, v graph.V) error {
 		}
 		if match {
 			inc.edges = append(inc.edges[:i], inc.edges[i+1:]...)
-			break
+			return
 		}
 	}
-	si := commonSubgraph(prev.sgOf, u, v)
-	if si < 0 {
-		// Cannot happen for an existing edge (every edge lives in one
-		// block, hence one sub-graph), but stay safe.
-		return inc.rebuild()
-	}
-	return inc.applyLocal(prev, si, false, u, v)
 }
 
-// applyLocal performs an intra-sub-graph mutation by building the next epoch
-// copy-on-write: clone the decomposition shell, swap in cloned sub-graphs
-// for everything the mutation writes (the mutated sub-graph's CSR/γ/roots,
-// plus α/β arrays everywhere when they need a refresh), patch the clones,
-// recompute the affected contributions and publish. Unchanged sub-graph
-// CSRs are shared between epochs.
+// localOp is one staged intra-sub-graph mutation in local-id space.
+type localOp struct {
+	si        int
+	add       bool
+	lu, lv    int32
+	anyRemove bool
+}
+
+// applyLocalBatch performs a batch of intra-sub-graph mutations by building
+// the next epoch copy-on-write: clone the decomposition shell, swap in
+// cloned sub-graphs for everything the batch writes (each mutated
+// sub-graph's CSR/γ/roots, plus α/β arrays everywhere when they need a
+// refresh), patch the clones, recompute the affected contributions once and
+// publish a single epoch. Unchanged sub-graph CSRs are shared between
+// epochs.
 //
 // Other sub-graphs' α/β can shift even though the partition stays valid:
 //
 //   - Directed graphs: reachability between outside regions routes *through*
-//     the mutated sub-graph, so any intra-sub-graph arc change can move α/β
+//     a mutated sub-graph, so any intra-sub-graph arc change can move α/β
 //     elsewhere.
 //   - Undirected removals: deleting a bridge inside the sub-graph (a
 //     block-splitting removal) can cut a boundary AP of *another* sub-graph
@@ -321,18 +413,23 @@ func (inc *Incremental) RemoveEdge(u, v graph.V) error {
 // the undirected tree method only sees the partition shape, not internal
 // splits) and recompute every sub-graph whose values moved; the previous
 // epoch's arrays serve as the before-image, so no separate snapshot is
-// needed. The cheap path — undirected mutation with no split possible —
-// recomputes only the mutated sub-graph.
-func (inc *Incremental) applyLocal(prev *epochState, si int, add bool, u, v graph.V) error {
-	oldSG := prev.d.Subgraphs[si]
-	lu, lv := oldSG.LocalID(u), oldSG.LocalID(v)
-	if lu < 0 || lv < 0 {
-		return inc.rebuild()
+// needed. The cheap path — undirected insertions with no split possible —
+// recomputes only the mutated sub-graphs. Recomputation always walks
+// sub-graphs in index order so score accumulation stays deterministic.
+func (inc *Incremental) applyLocalBatch(prev *epochState, ops []localOp) error {
+	refreshAB := inc.directed || inc.splitSinceRebuild
+	mutated := map[int]bool{}
+	for _, op := range ops {
+		mutated[op.si] = true
+		if op.anyRemove {
+			refreshAB = true
+		}
 	}
-	if !add && !inc.directed {
-		inc.splitSinceRebuild = true
+	sis := make([]int, 0, len(mutated))
+	for si := range mutated {
+		sis = append(sis, si)
 	}
-	refreshAB := inc.directed || !add || inc.splitSinceRebuild
+	sort.Ints(sis)
 
 	next := &epochState{
 		seq:     prev.seq + 1,
@@ -343,23 +440,30 @@ func (inc *Incremental) applyLocal(prev *epochState, si int, add bool, u, v grap
 	}
 	if refreshAB {
 		for sj := range next.d.Subgraphs {
-			if sj != si {
+			if !mutated[sj] {
 				next.d.Subgraphs[sj] = next.d.Subgraphs[sj].CloneForAlphaBeta()
 			}
 		}
 	}
-	sg := oldSG.CloneForMutation()
-	next.d.Subgraphs[si] = sg
-	if err := sg.MutateEdge(add, lu, lv, inc.directed); err != nil {
-		return err
+	for _, si := range sis {
+		next.d.Subgraphs[si] = prev.d.Subgraphs[si].CloneForMutation()
+	}
+	for _, op := range ops {
+		if err := next.d.Subgraphs[op.si].MutateEdge(op.add, op.lu, op.lv, inc.directed); err != nil {
+			return err
+		}
 	}
 	next.g = graph.NewFromEdges(inc.n, inc.edges, inc.directed)
 	next.d.SetGraph(next.g)
-	next.d.RefreshRoots(si, inc.opt.DisableGamma)
-	inc.localUpdates.Add(1)
+	for _, si := range sis {
+		next.d.RefreshRoots(si, inc.opt.DisableGamma)
+	}
+	inc.localUpdates.Add(int64(len(ops)))
 	if !refreshAB {
-		if err := inc.recompute(next, si); err != nil {
-			return err
+		for _, si := range sis {
+			if err := inc.recompute(next, si); err != nil {
+				return err
+			}
 		}
 		inc.publish(next)
 		return nil
@@ -368,7 +472,7 @@ func (inc *Incremental) applyLocal(prev *epochState, si int, add bool, u, v grap
 		return err
 	}
 	for sj := range next.d.Subgraphs {
-		if sj == si || alphaBetaChanged(next.d.Subgraphs[sj], prev.d.Subgraphs[sj]) {
+		if mutated[sj] || alphaBetaChanged(next.d.Subgraphs[sj], prev.d.Subgraphs[sj]) {
 			if err := inc.recompute(next, sj); err != nil {
 				return err
 			}

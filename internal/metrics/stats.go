@@ -7,6 +7,8 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"time"
 )
 
 // kendallExactLimit caps the O(n²) exact pair enumeration; above it
@@ -68,4 +70,24 @@ func KendallTau(x, y []float64, seed int64) float64 {
 	}
 	num := float64(c - d)
 	return num / (math.Sqrt(denomX) * math.Sqrt(denomY))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of samples by the
+// nearest-rank definition, sorting a copy so the caller's order is
+// preserved. Empty input returns 0. The load harness (cmd/bcdload) uses it
+// for its latency records.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

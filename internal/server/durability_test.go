@@ -1,0 +1,519 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// lifecycleSpec is the standard durable-test load; bigSnapshotEvery keeps
+// the build-time snapshot in place so recovery genuinely replays the WAL.
+const bigSnapshotEvery = 1 << 20
+
+func durableRegistry(t *testing.T, dir string) *Registry {
+	t.Helper()
+	return NewRegistry(Config{Workers: 2, DataDir: dir, SnapshotEvery: bigSnapshotEvery})
+}
+
+func loadLifecycle(t *testing.T, r *Registry, name string) *Entry {
+	t.Helper()
+	e, err := r.Load(LoadSpec{Name: name, N: lifecycleN, Edges: lifecycleEdges, Threshold: lifecycleThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitState(t, e); info.State != StateReady {
+		t.Fatalf("load %q: state %s (%s)", name, info.State, info.Error)
+	}
+	return e
+}
+
+// TestKillAndRecover is the crash-recovery proof: mutate a durable graph,
+// abandon the registry WITHOUT Close (the kill -9 analogue — acknowledged
+// mutations are already fsynced to the WAL, nothing else is flushed), then
+// recover from disk in a fresh registry. The recovered scores must be
+// bit-identical to a fresh computation of the mutated graph, and the
+// recovered entry must show zero engine-replayed mutations: recovery is one
+// decomposition of snapshot+WAL, not a re-run of history.
+func TestKillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	r1 := durableRegistry(t, dir)
+	e1 := loadLifecycle(t, r1, "kill")
+
+	// A burst touching both mutation paths: local chord, structural
+	// cross-component insert, local leaf removal.
+	muts := []struct {
+		add  bool
+		u, v int32
+	}{
+		{true, 1, 3},
+		{true, 9, 4},
+		{false, 0, 7},
+	}
+	for _, m := range muts {
+		res, err := r1.Mutate(e1, m.add, m.u, m.v)
+		if err != nil {
+			t.Fatalf("mutate %+v: %v", m, err)
+		}
+		if !res.Applied {
+			t.Fatalf("mutate %+v acknowledged without Applied", m)
+		}
+	}
+	// Every Mutate above returned only after its WAL append fsynced, so the
+	// full burst is durable. Abandon r1 here — no Close, no final snapshot.
+
+	// The WAL (not the snapshot) must carry the burst, or this test would
+	// pass without exercising replay.
+	if fi, err := os.Stat(filepath.Join(dir, "kill", walFile)); err != nil || fi.Size() == 0 {
+		t.Fatalf("wal.log missing or empty before recovery (err=%v)", err)
+	}
+
+	r2 := durableRegistry(t, dir)
+	defer r2.Close()
+	names, err := r2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "kill" {
+		t.Fatalf("recovered %v, want [kill]", names)
+	}
+	e2 := r2.Get("kill")
+	if e2 == nil {
+		t.Fatal("recovered entry not registered")
+	}
+	info := waitState(t, e2)
+	if info.State != StateReady {
+		t.Fatalf("recovered state %s (%s)", info.State, info.Error)
+	}
+	if info.Threshold != lifecycleThreshold {
+		t.Fatalf("recovered threshold %d, want %d (meta.json lost it)", info.Threshold, lifecycleThreshold)
+	}
+	// One decomposition of the final state — not a replay of the mutation
+	// history through the engine.
+	if info.LocalUpdates != 0 || info.FullRebuilds != 0 {
+		t.Fatalf("recovery replayed mutations through the engine: %d local / %d rebuilds",
+			info.LocalUpdates, info.FullRebuilds)
+	}
+
+	got, err := e2.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "recovered scores",
+		got, lifecycleGraph([][2]int32{{1, 3}, {9, 4}}, [][2]int32{{0, 7}}))
+}
+
+// TestRecoverTornWALTail: garbage appended to the WAL (a torn write from the
+// crash) must not poison recovery — replay stops at the last intact record.
+func TestRecoverTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	r1 := durableRegistry(t, dir)
+	e1 := loadLifecycle(t, r1, "torn")
+	if _, err := r1.Mutate(e1, true, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, "torn", walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{walOpInsert, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2 := durableRegistry(t, dir)
+	defer r2.Close()
+	if _, err := r2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := r2.Get("torn")
+	info := waitState(t, e2)
+	if info.State != StateReady {
+		t.Fatalf("recovered state %s (%s)", info.State, info.Error)
+	}
+	got, err := e2.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "recovered scores after torn tail",
+		got, lifecycleGraph([][2]int32{{1, 3}}, nil))
+}
+
+// TestCleanCloseCompactsWAL: a graceful Close writes a final snapshot and
+// truncates the WAL, so the next start replays nothing.
+func TestCleanCloseCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	r1 := durableRegistry(t, dir)
+	e1 := loadLifecycle(t, r1, "clean")
+	if _, err := r1.Mutate(e1, true, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+
+	if fi, err := os.Stat(filepath.Join(dir, "clean", walFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal.log not truncated by clean shutdown (size=%v err=%v)", fi, err)
+	}
+	r2 := durableRegistry(t, dir)
+	defer r2.Close()
+	if _, err := r2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := r2.Get("clean")
+	info := waitState(t, e2)
+	if info.State != StateReady {
+		t.Fatalf("recovered state %s (%s)", info.State, info.Error)
+	}
+	got, err := e2.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "recovered scores after clean close",
+		got, lifecycleGraph([][2]int32{{1, 3}}, nil))
+}
+
+// TestSnapshotCompaction: once the WAL passes SnapshotEvery records the
+// worker rewrites the snapshot and truncates the log, keeping recovery cost
+// bounded.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry(Config{Workers: 1, DataDir: dir, SnapshotEvery: 2, MutationBatch: 1})
+	defer r.Close()
+	e := loadLifecycle(t, r, "compact")
+	for i, m := range []struct {
+		add  bool
+		u, v int32
+	}{{true, 1, 3}, {false, 1, 3}, {true, 1, 3}, {false, 1, 3}} {
+		if _, err := r.Mutate(e, m.add, m.u, m.v); err != nil {
+			t.Fatalf("mutate %d: %v", i, err)
+		}
+	}
+	// 4 records at SnapshotEvery=2: at least one compaction must have run,
+	// leaving fewer than 2 records in the log.
+	fi, err := os.Stat(filepath.Join(dir, "compact", walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= 2*walRecordSize {
+		t.Fatalf("wal.log holds %d bytes (>= %d): compaction never ran", fi.Size(), 2*walRecordSize)
+	}
+}
+
+// TestUnloadRemovesDurableDir: unload deletes the graph's durable directory,
+// so it does not resurrect on the next Recover.
+func TestUnloadRemovesDurableDir(t *testing.T) {
+	dir := t.TempDir()
+	r := durableRegistry(t, dir)
+	defer r.Close()
+	loadLifecycle(t, r, "gone")
+	gdir := filepath.Join(dir, "gone")
+	if _, err := os.Stat(gdir); err != nil {
+		t.Fatalf("durable dir missing before unload: %v", err)
+	}
+	if !r.Unload("gone") {
+		t.Fatal("unload reported missing")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(gdir); os.IsNotExist(err) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("durable dir still present 10s after unload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDecodeWALTornTail covers the frame-level corruption cases directly.
+func TestDecodeWALTornTail(t *testing.T) {
+	var buf []byte
+	ops := []core.EdgeOp{{Add: true, U: 1, V: 2}, {Add: false, U: 3, V: 4}}
+	for _, op := range ops {
+		buf = appendWALRecord(buf, op)
+	}
+
+	got, truncated, err := decodeWAL(buf)
+	if err != nil || truncated || len(got) != 2 || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("intact decode = %v truncated=%v err=%v", got, truncated, err)
+	}
+
+	// Short tail: a partial third record.
+	short := append(append([]byte(nil), buf...), walOpInsert, 9, 9)
+	if got, truncated, _ := decodeWAL(short); !truncated || len(got) != 2 {
+		t.Fatalf("short-tail decode = %d ops truncated=%v, want 2/true", len(got), truncated)
+	}
+
+	// Bit flip inside the second record: CRC must stop replay after the
+	// first.
+	flipped := append([]byte(nil), buf...)
+	flipped[walRecordSize+3] ^= 0xff
+	if got, truncated, _ := decodeWAL(flipped); !truncated || len(got) != 1 {
+		t.Fatalf("bit-flip decode = %d ops truncated=%v, want 1/true", len(got), truncated)
+	}
+
+	// Unknown op byte.
+	bad := append([]byte(nil), buf...)
+	bad[walRecordSize] = 0x7f
+	if got, truncated, _ := decodeWAL(bad); !truncated || len(got) != 1 {
+		t.Fatalf("bad-op decode = %d ops truncated=%v, want 1/true", len(got), truncated)
+	}
+}
+
+// TestMutationBurstCoalesces: N concurrent mutations while the worker is
+// held at the gate must land in far fewer than N epoch publishes.
+func TestMutationBurstCoalesces(t *testing.T) {
+	r := NewRegistry(Config{Workers: 1, MutationQueueDepth: 64, MutationBatch: 64})
+	defer r.Close()
+	gate := make(chan struct{})
+	var once sync.Once
+	r.beforeMutate = func() {
+		// Hold only the first batch: everything sent meanwhile queues up and
+		// is drained into it.
+		once.Do(func() { <-gate })
+	}
+
+	// A 30-vertex path: chords {i, i+2} are all absent and all valid.
+	const n = 30
+	edges := make([][2]int32, 0, n-1)
+	for i := int32(0); i < n-1; i++ {
+		edges = append(edges, [2]int32{i, i + 1})
+	}
+	e, err := r.Load(LoadSpec{Name: "burst", N: n, Edges: edges, Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitState(t, e); info.State != StateReady {
+		t.Fatalf("state %s (%s)", info.State, info.Error)
+	}
+	seq0 := e.Info().Epoch
+	edges0 := e.Info().Edges
+
+	const burst = 20
+	var wg sync.WaitGroup
+	results := make([]MutationResult, burst)
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Mutate(e, true, int32(i), int32(i+2))
+		}(i)
+	}
+	// Let the burst queue up behind the gated first batch, then release.
+	deadline := time.Now().Add(10 * time.Second)
+	for int(e.pending.Load()) < burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d mutations queued after 10s", e.pending.Load(), burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	maxBatched := 0
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			t.Fatalf("mutation %d: %v", i, errs[i])
+		}
+		if !results[i].Applied {
+			t.Fatalf("mutation %d not applied", i)
+		}
+		if results[i].Batched > maxBatched {
+			maxBatched = results[i].Batched
+		}
+	}
+	info := e.Info()
+	if info.Edges != edges0+burst {
+		t.Fatalf("edges = %d, want %d", info.Edges, edges0+burst)
+	}
+	epochs := info.Epoch - seq0
+	if epochs == 0 || epochs > 2 {
+		t.Fatalf("burst of %d mutations published %d epochs, want 1-2 (coalesced)", burst, epochs)
+	}
+	if maxBatched < burst/2 {
+		t.Fatalf("largest batch carried %d ops, want >= %d", maxBatched, burst/2)
+	}
+}
+
+// TestOverloadAnswers429 drives the admission-control path over HTTP: with
+// the worker held and the queue full, mutations get 429 + Retry-After (never
+// 400/500) while reads keep being served from the epoch snapshot.
+func TestOverloadAnswers429(t *testing.T) {
+	reg := NewRegistry(Config{
+		Workers: 1, MutationQueueDepth: 1, MutationBatch: 1,
+		RetryAfter: 3 * time.Second,
+	})
+	gate := make(chan struct{})
+	held := make(chan struct{}, 16)
+	var once sync.Once
+	reg.beforeMutate = func() {
+		once.Do(func() {
+			held <- struct{}{}
+			<-gate
+		})
+	}
+	ts := httptest.NewServer(New(reg, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	base := ts.URL
+	loadAndWait(t, base, LoadSpec{
+		Name: "ovl", N: lifecycleN, Edges: lifecycleEdges, Threshold: lifecycleThreshold,
+	})
+
+	// First mutation occupies the worker (held at the gate)...
+	type mutReply struct {
+		code int
+		body MutationResult
+	}
+	replies := make(chan mutReply, 2)
+	sendMut := func(from, to int32) {
+		var res MutationResult
+		code := do(t, "POST", base+"/v1/graphs/ovl/edges", edgeRequest{From: from, To: to}, &res)
+		replies <- mutReply{code, res}
+	}
+	go sendMut(1, 3)
+	<-held
+	// ...the second fills the depth-1 queue...
+	go sendMut(9, 4)
+	deadline := time.Now().Add(10 * time.Second)
+	e := reg.Get("ovl")
+	for e.pending.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second mutation never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...and the third must be shed with 429 + Retry-After, not 400/500.
+	req, _ := http.NewRequest("POST", base+"/v1/graphs/ovl/edges?from=9&to=3", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body errorBody
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded mutation got %d (%s), want 429", resp.StatusCode, body.Error)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	if !strings.Contains(body.Error, "queue full") {
+		t.Fatalf("429 body %q does not explain the queue", body.Error)
+	}
+
+	// Reads bypass the mutation queue entirely: cached top-K stays serviced
+	// while the worker is wedged.
+	var top bcResponse
+	if code := do(t, "GET", base+"/v1/graphs/ovl/bc?top=3", nil, &top); code != http.StatusOK {
+		t.Fatalf("read during overload got %d, want 200", code)
+	}
+	if len(top.Top) != 3 {
+		t.Fatalf("read during overload returned %d entries", len(top.Top))
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if rep := <-replies; rep.code != http.StatusOK || !rep.body.Applied {
+			t.Fatalf("queued mutation finished %d (applied=%v), want 200/applied", rep.code, rep.body.Applied)
+		}
+	}
+}
+
+// TestMutateCanceledClient: a mutation whose client is already gone is
+// answered 499 with an explicit applied=false, and nothing is written.
+func TestMutateCanceledClient(t *testing.T) {
+	reg := NewRegistry(Config{Workers: 2})
+	defer reg.Close()
+	srv := New(reg, nil)
+	e, err := reg.Load(LoadSpec{Name: "cancel", N: lifecycleN, Edges: lifecycleEdges, Threshold: lifecycleThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitState(t, e); info.State != StateReady {
+		t.Fatalf("state %s (%s)", info.State, info.Error)
+	}
+	edgesBefore := e.Info().Edges
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/graphs/cancel/edges?from=1&to=3", nil).WithContext(ctx)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("canceled mutation got %d, want %d", w.Code, statusClientClosedRequest)
+	}
+	var body canceledBody
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad 499 body %q: %v", w.Body.Bytes(), err)
+	}
+	if body.Applied {
+		t.Fatal("499 response claims the mutation was applied")
+	}
+	if after := e.Info().Edges; after != edgesBefore {
+		t.Fatalf("canceled mutation changed the graph (%d -> %d edges)", edgesBefore, after)
+	}
+}
+
+// TestTopKCoalescing: identical top-K queries on one epoch share a ranking;
+// a mutation invalidates it by bumping the epoch seq.
+func TestTopKCoalescing(t *testing.T) {
+	r := NewRegistry(Config{Workers: 2})
+	defer r.Close()
+	e, err := r.Load(LoadSpec{Name: "co", N: lifecycleN, Edges: lifecycleEdges, Threshold: lifecycleThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitState(t, e); info.State != StateReady {
+		t.Fatalf("state %s (%s)", info.State, info.Error)
+	}
+
+	first, n1, hit1, err := e.TopKCoalesced(5)
+	if err != nil || hit1 {
+		t.Fatalf("first query: hit=%v err=%v, want miss", hit1, err)
+	}
+	second, n2, hit2, err := e.TopKCoalesced(5)
+	if err != nil || !hit2 {
+		t.Fatalf("second query: hit=%v err=%v, want hit", hit2, err)
+	}
+	if n1 != n2 || len(first) != len(second) {
+		t.Fatalf("coalesced results diverge: n %d/%d len %d/%d", n1, n2, len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("coalesced result differs at %d: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	// A different k is its own cache line.
+	if _, _, hit, _ := e.TopKCoalesced(3); hit {
+		t.Fatal("distinct k reported a cache hit")
+	}
+	if _, _, hit, _ := e.TopKCoalesced(3); !hit {
+		t.Fatal("repeated k missed the cache")
+	}
+
+	// Mutation publishes a new epoch: the cache must invalidate.
+	if _, err := r.Mutate(e, true, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	post, _, hit, err := e.TopKCoalesced(5)
+	if err != nil || hit {
+		t.Fatalf("post-mutation query: hit=%v err=%v, want miss", hit, err)
+	}
+	if len(post) != 5 {
+		t.Fatalf("post-mutation top-5 has %d entries", len(post))
+	}
+}

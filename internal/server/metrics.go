@@ -24,6 +24,11 @@ type Metrics struct {
 	approxError  *promtext.FloatGaugeVec // graph
 	wsPoolSize   *promtext.GaugeVec      // (none)
 	wsInUse      *promtext.GaugeVec      // (none)
+	overload     *promtext.CounterVec    // op = build | mutation
+	batches      *promtext.CounterVec    // (none)
+	batchOps     *promtext.CounterVec    // (none)
+	topk         *promtext.CounterVec    // result = hit | miss
+	durability   *promtext.CounterVec    // event = append | snapshot | recover | error
 }
 
 // NewMetrics builds the metric families.
@@ -59,6 +64,25 @@ func NewMetrics() *Metrics {
 		wsInUse: reg.NewGauge("bcd_ws_in_use",
 			"Sweep workspaces currently checked out of the shared engine "+
 				"arena, sampled at scrape time."),
+		overload: reg.NewCounter("bcd_overload_total",
+			"Requests shed by admission control (answered 429), by queue: "+
+				"build (load jobs) or mutation (per-graph edge updates).",
+			"op"),
+		batches: reg.NewCounter("bcd_mutation_batches_total",
+			"Coalesced mutation batches applied — one WAL fsync and one "+
+				"published epoch each."),
+		batchOps: reg.NewCounter("bcd_mutation_batch_ops_total",
+			"Edge mutations carried inside coalesced batches; the ratio to "+
+				"bcd_mutation_batches_total is the burst amortization factor."),
+		topk: reg.NewCounter("bcd_topk_cache_total",
+			"Exact top-K queries, by result: hit (ranking reused from the "+
+				"epoch-keyed cache) or miss (ranked fresh).",
+			"result"),
+		durability: reg.NewCounter("bcd_durability_total",
+			"WAL/snapshot events: append (batch fsynced), snapshot "+
+				"(compaction written), recover (graph rebuilt from disk), "+
+				"error.",
+			"event"),
 	}
 	// Pre-register the low-cardinality series so scrapers see zeros instead
 	// of absent series before the first event.
@@ -70,6 +94,16 @@ func NewMetrics() *Metrics {
 	m.graphs.With()
 	m.wsPoolSize.With()
 	m.wsInUse.With()
+	m.overload.With("build")
+	m.overload.With("mutation")
+	m.batches.With()
+	m.batchOps.With()
+	m.topk.With("hit")
+	m.topk.With("miss")
+	m.durability.With("append")
+	m.durability.With("snapshot")
+	m.durability.With("recover")
+	m.durability.With("error")
 	return m
 }
 
@@ -91,6 +125,19 @@ func (m *Metrics) Hook(r *Registry) {
 		m.approxPivots.With(name).Add(pivots)
 		m.approxError.With(name).Set(errEstimate)
 	}
+	r.onOverload = func(op string) { m.overload.With(op).Inc() }
+	r.onBatch = func(ops int) {
+		m.batches.With().Inc()
+		m.batchOps.With().Add(ops)
+	}
+	r.onTopK = func(hit bool) {
+		if hit {
+			m.topk.With("hit").Inc()
+		} else {
+			m.topk.With("miss").Inc()
+		}
+	}
+	r.onDurability = func(event string) { m.durability.With(event).Inc() }
 }
 
 // ObserveRequest records one served request.

@@ -21,7 +21,10 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 	"slices"
 	"sort"
@@ -49,6 +52,9 @@ const (
 	// StateFailed means the build job errored; the entry stays visible so
 	// clients can read the error, and the name can be re-used after Unload.
 	StateFailed State = "failed"
+	// StateAborted means the build job was cut short by registry shutdown,
+	// not by a build error — job polling can tell the two apart.
+	StateAborted State = "aborted"
 )
 
 // Config tunes a Registry.
@@ -64,6 +70,26 @@ type Config struct {
 	// DefaultThreshold is the decomposition threshold used when a LoadSpec
 	// does not set one; <= 0 means decompose.DefaultThreshold.
 	DefaultThreshold int
+
+	// DataDir enables durability: each graph gets a WAL + snapshot directory
+	// under it (see wal.go) and Recover can rebuild the registry after a
+	// crash or restart. Empty disables durability.
+	DataDir string
+	// SnapshotEvery bounds the WAL: after this many logged mutation records
+	// the worker writes a fresh snapshot and truncates the log. <= 0 means
+	// 256.
+	SnapshotEvery int
+	// MutationQueueDepth bounds each graph's pending-mutation queue;
+	// mutations beyond it are rejected with an OverloadError (HTTP 429)
+	// instead of queueing without bound. <= 0 means 128.
+	MutationQueueDepth int
+	// MutationBatch caps how many queued mutations the worker coalesces into
+	// one engine batch — one WAL fsync and ONE published epoch per batch,
+	// instead of one rebuild per edge. <= 0 means 64.
+	MutationBatch int
+	// RetryAfter is the backoff hint attached to OverloadErrors (the HTTP
+	// layer's Retry-After header). <= 0 means 1s.
+	RetryAfter time.Duration
 }
 
 // LoadSpec names a graph source for Registry.Load. Exactly one of Dataset,
@@ -119,6 +145,36 @@ type Entry struct {
 	est      *approx.Estimator
 	estSeq   uint64
 	refining atomic.Bool
+
+	// Durability + admission control (set once when the build job finishes,
+	// before the mutation worker starts; dir/wal are then confined to that
+	// worker). mutCh is the bounded mutation queue: Mutate enqueues under
+	// mu.RLock, stopMutations closes it under mu.Lock, so a send can never
+	// race a close. walErr records the first durability failure for Info.
+	dir         string
+	wal         *walWriter
+	walErr      string
+	mutCh       chan *mutRequest
+	mutStopped  bool
+	dropDurable bool
+	mutDone     chan struct{}
+	pending     atomic.Int64
+
+	// topk is the epoch-seq-keyed top-K singleflight cache (coalesce.go).
+	topk topkCache
+}
+
+// mutRequest is one queued edge mutation; done (buffered) carries the
+// outcome back to the blocked HTTP handler.
+type mutRequest struct {
+	add  bool
+	u, v graph.V
+	done chan mutOutcome
+}
+
+type mutOutcome struct {
+	res MutationResult
+	err error
 }
 
 // EntryInfo is a point-in-time snapshot of an entry, JSON-ready.
@@ -140,6 +196,15 @@ type EntryInfo struct {
 	// LoadedAt/BuildMs are set once the build job finishes.
 	LoadedAt *time.Time `json:"loaded_at,omitempty"`
 	BuildMs  float64    `json:"build_ms,omitempty"`
+	// Epoch is the engine's published epoch sequence number — load-generator
+	// clients compare it against the mutations they sent to observe batching.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// PendingMutations is the current mutation-queue depth.
+	PendingMutations int `json:"pending_mutations,omitempty"`
+	// Durable reports whether the entry has a WAL+snapshot directory;
+	// DurabilityError surfaces the first WAL/snapshot failure, if any.
+	Durable         bool   `json:"durable,omitempty"`
+	DurabilityError string `json:"durability_error,omitempty"`
 }
 
 // MutationResult reports how an edge update was absorbed.
@@ -147,9 +212,16 @@ type MutationResult struct {
 	// Result is "local" (intra-sub-graph incremental update) or "rebuild"
 	// (structural change forced a full re-decomposition).
 	Result string `json:"result"`
-	Verts  int    `json:"verts"`
-	Edges  int64  `json:"edges"`
-	// TookMs is the wall time of the update.
+	// Applied is the unambiguous effect marker: true means the edge update
+	// was logged and published; a response without it means nothing changed.
+	Applied bool  `json:"applied"`
+	Verts   int   `json:"verts"`
+	Edges   int64 `json:"edges"`
+	// Batched is how many queued mutations shared this epoch publish (and
+	// WAL fsync) with this one.
+	Batched int `json:"batched,omitempty"`
+	// TookMs is the wall time of the update (the whole batch's wall time
+	// when Batched > 1).
 	TookMs float64 `json:"took_ms"`
 }
 
@@ -165,22 +237,35 @@ type Registry struct {
 
 	jobs chan buildJob
 	wg   sync.WaitGroup
+	// mutWg tracks per-entry mutation workers; Close waits on it after the
+	// build workers have drained, so no new worker can start mid-shutdown.
+	mutWg sync.WaitGroup
 
 	// onLoadDone, onMutate and onApprox are metrics hooks (nil-safe); see
 	// metrics.go.
-	onLoadDone func(status string)
-	onMutate   func(result string)
-	onCount    func(loaded int)
-	onApprox   func(name string, pivots int, errEstimate float64)
+	onLoadDone   func(status string)
+	onMutate     func(result string)
+	onCount      func(loaded int)
+	onApprox     func(name string, pivots int, errEstimate float64)
+	onOverload   func(op string)
+	onBatch      func(ops int)
+	onTopK       func(hit bool)
+	onDurability func(event string)
 
-	// beforeBuild, when set (tests only), runs at the start of every build
-	// job — it lets tests hold a worker busy deterministically.
-	beforeBuild func()
+	// beforeBuild and beforeMutate, when set (tests only), run at the start
+	// of every build job / mutation batch — they let tests hold a worker
+	// busy deterministically.
+	beforeBuild  func()
+	beforeMutate func()
 }
 
 type buildJob struct {
 	e    *Entry
 	spec LoadSpec
+	// pre, when non-nil, is a graph recovered from a durable directory
+	// (Recover): the job skips source materialization and pays only the
+	// decomposition of the recovered state.
+	pre *graph.Graph
 }
 
 // NewRegistry starts the worker pool. Close must be called to release it.
@@ -190,6 +275,18 @@ func NewRegistry(cfg Config) *Registry {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
+	}
+	if cfg.MutationQueueDepth <= 0 {
+		cfg.MutationQueueDepth = 128
+	}
+	if cfg.MutationBatch <= 0 {
+		cfg.MutationBatch = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
@@ -226,32 +323,43 @@ func (r *Registry) worker() {
 	}
 }
 
-// runBuild executes one load job: materialize the graph, decompose, compute
-// initial BC. The coarse-grained cancellation points are between phases —
-// the phases themselves are CPU-bound library calls.
+// runBuild executes one load job: materialize the graph (or take the
+// recovered one), decompose, compute initial BC, then set up durability and
+// start the entry's mutation worker. The coarse-grained cancellation points
+// are between phases — the phases themselves are CPU-bound library calls.
 func (r *Registry) runBuild(j buildJob) {
 	if r.beforeBuild != nil {
 		r.beforeBuild()
 	}
 	start := time.Now()
 	fail := func(status string, err error) {
+		state := StateFailed
+		if status == "canceled" {
+			// Shutdown, not a build error: record the distinction so job
+			// polling can tell the two apart.
+			state = StateAborted
+		}
 		j.e.mu.Lock()
-		j.e.state = StateFailed
+		j.e.state = state
 		j.e.err = err.Error()
 		j.e.mu.Unlock()
 		r.notifyLoadDone(status)
 	}
 	if err := r.ctx.Err(); err != nil {
-		fail("canceled", fmt.Errorf("server: load canceled: %w", err))
+		fail("canceled", fmt.Errorf("server: load aborted by shutdown: %w", err))
 		return
 	}
-	g, err := buildGraph(j.spec)
-	if err != nil {
-		fail("error", err)
-		return
+	g := j.pre
+	if g == nil {
+		var err error
+		g, err = buildGraph(j.spec)
+		if err != nil {
+			fail("error", err)
+			return
+		}
 	}
 	if err := r.ctx.Err(); err != nil {
-		fail("canceled", fmt.Errorf("server: load canceled: %w", err))
+		fail("canceled", fmt.Errorf("server: load aborted by shutdown: %w", err))
 		return
 	}
 	inc, err := core.NewIncremental(g, core.Options{Threshold: j.e.threshold})
@@ -259,6 +367,45 @@ func (r *Registry) runBuild(j buildJob) {
 		fail("error", err)
 		return
 	}
+
+	// Only an entry still registered (not Unloaded mid-build, registry not
+	// closing) gets durable state and a mutation worker; a detached entry
+	// completes as inert garbage, exactly as before. The mutWg.Add happens
+	// inside the build worker, so Close's ordering (wg.Wait, then
+	// mutWg.Wait) can never miss a worker.
+	r.mu.Lock()
+	attached := !r.closed && r.graphs[j.e.name] == j.e
+	if attached {
+		r.mutWg.Add(1)
+	}
+	r.mu.Unlock()
+
+	var dir string
+	var wal *walWriter
+	if attached && r.cfg.DataDir != "" {
+		dir = filepath.Join(r.cfg.DataDir, j.e.name)
+		if err := r.initDurable(dir, j.e, g); err != nil {
+			r.mutWg.Done()
+			fail("error", err)
+			return
+		}
+		// The build-time snapshot already holds the full graph (for a
+		// recovered entry that compacts the replayed WAL), so the log
+		// restarts empty.
+		wal, err = openWAL(filepath.Join(dir, walFile))
+		if err == nil {
+			err = wal.Reset()
+		}
+		if err != nil {
+			if wal != nil {
+				wal.Close()
+			}
+			r.mutWg.Done()
+			fail("error", &DurabilityError{Name: j.e.name, Err: err})
+			return
+		}
+	}
+
 	// No transpose pre-materialization needed here: the incremental engine
 	// ensures directed epochs publish with the transpose already built, so
 	// concurrent lock-free readers never trigger the lazy In() build.
@@ -267,9 +414,40 @@ func (r *Registry) runBuild(j buildJob) {
 	j.e.state = StateReady
 	j.e.loadedAt = time.Now().UTC()
 	j.e.buildTime = time.Since(start)
+	if attached {
+		j.e.dir = dir
+		j.e.wal = wal
+		j.e.mutCh = make(chan *mutRequest, r.cfg.MutationQueueDepth)
+		j.e.mutDone = make(chan struct{})
+	}
 	j.e.mu.Unlock()
+	if attached {
+		go r.mutWorker(j.e)
+	}
 	r.notifyLoadDone("ok")
 	r.notifyCount(r.NumReady())
+}
+
+// initDurable creates the entry's durable directory and writes the
+// load-parameter sidecar plus the build-time snapshot.
+func (r *Registry) initDurable(dir string, e *Entry, g *graph.Graph) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return &DurabilityError{Name: e.name, Err: err}
+	}
+	meta := graphMeta{
+		Name:      e.name,
+		Threshold: e.threshold,
+		Directed:  g.Directed(),
+		SavedAt:   time.Now().UTC(),
+	}
+	if err := writeMeta(dir, meta); err != nil {
+		return &DurabilityError{Name: e.name, Err: err}
+	}
+	if err := writeSnapshot(dir, g); err != nil {
+		return &DurabilityError{Name: e.name, Err: err}
+	}
+	r.notifyDurability("snapshot")
+	return nil
 }
 
 func buildGraph(spec LoadSpec) (*graph.Graph, error) {
@@ -313,7 +491,9 @@ func buildGraph(spec LoadSpec) (*graph.Graph, error) {
 // Load registers spec.Name and enqueues the build job. It returns
 // immediately; poll Get until the state leaves StateLoading.
 func (r *Registry) Load(spec LoadSpec) (*Entry, error) {
-	if !nameRE.MatchString(spec.Name) {
+	// "." and ".." pass nameRE but would escape DataDir via filepath.Join;
+	// reject them outright.
+	if !nameRE.MatchString(spec.Name) || spec.Name == "." || spec.Name == ".." {
 		return nil, fmt.Errorf("server: invalid graph name %q (want %s)", spec.Name, nameRE)
 	}
 	if spec.Dataset == "" && spec.Path == "" && len(spec.Edges) == 0 {
@@ -330,7 +510,7 @@ func (r *Registry) Load(spec LoadSpec) (*Entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return nil, fmt.Errorf("server: registry is shut down")
+		return nil, ErrShutdown
 	}
 	if _, ok := r.graphs[spec.Name]; ok {
 		return nil, &ConflictError{Name: spec.Name}
@@ -340,7 +520,8 @@ func (r *Registry) Load(spec LoadSpec) (*Entry, error) {
 		r.graphs[spec.Name] = e
 		return e, nil
 	default:
-		return nil, fmt.Errorf("server: build queue full (%d jobs)", r.cfg.QueueDepth)
+		r.notifyOverload("build")
+		return nil, &OverloadError{Op: "build", Name: spec.Name, RetryAfter: r.cfg.RetryAfter}
 	}
 }
 
@@ -350,6 +531,36 @@ type ConflictError struct{ Name string }
 func (e *ConflictError) Error() string {
 	return fmt.Sprintf("server: graph %q already loaded", e.Name)
 }
+
+// ErrShutdown reports an operation against a registry that has been closed.
+// HTTP maps it to 503.
+var ErrShutdown = errors.New("server: registry is shut down")
+
+// OverloadError is the admission-control rejection: the bounded queue for Op
+// ("build" or "mutation") is full. It is load shedding, not a client error —
+// HTTP maps it to 429 with a Retry-After header, never 400.
+type OverloadError struct {
+	Op         string
+	Name       string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: %s queue full for %q, retry after %s", e.Op, e.Name, e.RetryAfter)
+}
+
+// DurabilityError wraps a WAL or snapshot failure. The write-ahead ordering
+// means a mutation whose WAL append failed was NOT applied.
+type DurabilityError struct {
+	Name string
+	Err  error
+}
+
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("server: durability failure for %q: %v", e.Name, e.Err)
+}
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
 
 // Get returns the entry for name, or nil.
 func (r *Registry) Get(name string) *Entry {
@@ -361,7 +572,9 @@ func (r *Registry) Get(name string) *Entry {
 // Unload removes name from the registry. In-flight queries finish on their
 // epoch snapshots; a build job still running for it completes into the
 // detached entry and is garbage afterwards. The entry's cached estimator is
-// released so its pooled sweep workspaces return to the shared arena.
+// released so its pooled sweep workspaces return to the shared arena, its
+// mutation worker drains and exits, and its durable directory is deleted —
+// an unloaded graph does not come back on Recover.
 func (r *Registry) Unload(name string) bool {
 	r.mu.Lock()
 	e, ok := r.graphs[name]
@@ -369,6 +582,21 @@ func (r *Registry) Unload(name string) bool {
 	r.mu.Unlock()
 	if ok {
 		e.dropEstimator()
+		e.stopMutations(true)
+		e.mu.RLock()
+		dir, done := e.dir, e.mutDone
+		e.mu.RUnlock()
+		if dir != "" {
+			// Wait for the worker to release its WAL handle, then drop the
+			// directory; async so the HTTP handler is not held behind a
+			// draining batch.
+			go func() {
+				if done != nil {
+					<-done
+				}
+				os.RemoveAll(dir)
+			}()
+		}
 		r.notifyCount(r.NumReady())
 	}
 	return ok
@@ -409,9 +637,11 @@ func (r *Registry) NumReady() int {
 	return n
 }
 
-// Close shuts the registry down: queued builds are aborted (marked failed),
-// running builds finish, and no further loads are accepted. Safe to call
-// more than once.
+// Close shuts the registry down: queued builds are aborted (marked
+// StateAborted, distinguishable from genuine failures), running builds
+// finish, every mutation worker drains its queue, writes a final snapshot
+// and closes its WAL, and no further loads are accepted. Safe to call more
+// than once.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -427,11 +657,24 @@ func (r *Registry) Close() {
 	// Workers have exited; whatever is still queued was never started.
 	for j := range r.jobs {
 		j.e.mu.Lock()
-		j.e.state = StateFailed
+		j.e.state = StateAborted
 		j.e.err = "server: load aborted by shutdown"
 		j.e.mu.Unlock()
 		r.notifyLoadDone("canceled")
 	}
+	// All build workers are done, so the set of mutation workers is final:
+	// stop each (drains queued mutations, final snapshot + WAL close) and
+	// wait for them.
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		e.stopMutations(false)
+	}
+	r.mutWg.Wait()
 }
 
 func (r *Registry) notifyLoadDone(status string) {
@@ -449,6 +692,30 @@ func (r *Registry) notifyMutate(result string) {
 func (r *Registry) notifyCount(n int) {
 	if r.onCount != nil {
 		r.onCount(n)
+	}
+}
+
+func (r *Registry) notifyOverload(op string) {
+	if r.onOverload != nil {
+		r.onOverload(op)
+	}
+}
+
+func (r *Registry) notifyBatch(ops int) {
+	if r.onBatch != nil {
+		r.onBatch(ops)
+	}
+}
+
+func (r *Registry) notifyTopK(hit bool) {
+	if r.onTopK != nil {
+		r.onTopK(hit)
+	}
+}
+
+func (r *Registry) notifyDurability(event string) {
+	if r.onDurability != nil {
+		r.onDurability(event)
 	}
 }
 
@@ -473,6 +740,8 @@ func (e *Entry) Info() EntryInfo {
 		info.LoadedAt = &at
 		info.BuildMs = float64(e.buildTime) / float64(time.Millisecond)
 	}
+	info.Durable = e.dir != ""
+	info.DurabilityError = e.walErr
 	e.mu.RUnlock()
 	if inc != nil {
 		snap := inc.Snapshot()
@@ -484,6 +753,8 @@ func (e *Entry) Info() EntryInfo {
 		info.BoundaryAPs = d.NumArticulation
 		info.LocalUpdates = inc.LocalUpdates()
 		info.FullRebuilds = inc.FullRebuilds()
+		info.Epoch = snap.Seq
+		info.PendingMutations = int(e.pending.Load())
 	}
 	return info
 }
@@ -672,44 +943,231 @@ func (e *VertexRangeError) Error() string {
 	return fmt.Sprintf("server: vertex %d out of range [0,%d)", e.Vertex, e.N)
 }
 
-// Mutate inserts (add=true) or removes the edge (u,v) through the
-// incremental engine and reports whether the update stayed local or forced a
-// rebuild. The entry lock is held only to fetch the handle: concurrent
-// mutators serialize inside the engine, readers keep serving the previous
-// epoch throughout the recompute, and the new epoch becomes visible with one
-// atomic pointer swap. The approximate-mode estimator is NOT touched here —
-// it notices the new epoch sequence number lazily (approx.go). The
-// registry's mutate hook feeds the Prometheus counters.
+// Mutate enqueues an edge insert (add=true) or removal on the entry's
+// bounded mutation queue and blocks until the worker reports the outcome.
+// Admission control happens here: a full queue rejects immediately with an
+// OverloadError (HTTP 429) instead of queueing without bound. Once enqueued,
+// the call waits for the outcome unconditionally — a success response always
+// means the mutation was logged and applied, never "maybe". Reads are
+// unaffected throughout: they go through lock-free epoch snapshots and never
+// enter this queue, which is the priority lane that keeps cached top-K
+// latency flat during rebuilds.
 func (r *Registry) Mutate(e *Entry, add bool, u, v int32) (MutationResult, error) {
-	inc, err := e.ready()
-	if err != nil {
+	e.mu.RLock()
+	if _, err := e.readyLocked(); err != nil {
+		e.mu.RUnlock()
 		return MutationResult{}, err
 	}
+	if e.mutCh == nil || e.mutStopped {
+		// Ready but detached (unloaded mid-build) or shutting down.
+		e.mu.RUnlock()
+		return MutationResult{}, ErrShutdown
+	}
+	req := &mutRequest{add: add, u: graph.V(u), v: graph.V(v), done: make(chan mutOutcome, 1)}
+	select {
+	case e.mutCh <- req:
+		e.pending.Add(1)
+		e.mu.RUnlock()
+	default:
+		e.mu.RUnlock()
+		r.notifyOverload("mutation")
+		return MutationResult{}, &OverloadError{Op: "mutation", Name: e.name, RetryAfter: r.cfg.RetryAfter}
+	}
+	out := <-req.done
+	e.pending.Add(-1)
+	return out.res, out.err
+}
+
+// stopMutations closes the entry's mutation queue (idempotent). The worker
+// drains what is already queued, then exits; drop=true additionally skips
+// the final snapshot because the durable directory is about to be deleted.
+func (e *Entry) stopMutations(drop bool) {
+	e.mu.Lock()
+	if e.mutCh == nil || e.mutStopped {
+		e.mu.Unlock()
+		return
+	}
+	e.mutStopped = true
+	e.dropDurable = drop
+	close(e.mutCh)
+	e.mu.Unlock()
+}
+
+// mutWorker is the entry's single mutation-applying goroutine: it drains the
+// bounded queue in batches of up to MutationBatch ops, so a burst of N
+// mutations costs one WAL fsync and ONE published epoch per batch instead of
+// N rebuilds. Confining WAL and engine writes to one goroutine also removes
+// any mutator-vs-mutator locking.
+func (r *Registry) mutWorker(e *Entry) {
+	defer func() {
+		if e.wal != nil {
+			if !e.dropDurable {
+				// Final compaction: snapshot the current graph and truncate
+				// the log so the next start replays nothing.
+				snap := e.inc.Snapshot()
+				if err := writeSnapshot(e.dir, snap.Graph); err == nil {
+					e.wal.Reset()
+					r.notifyDurability("snapshot")
+				} else {
+					r.notifyDurability("error")
+				}
+			}
+			e.wal.Close()
+		}
+		close(e.mutDone)
+		r.mutWg.Done()
+	}()
+	for req := range e.mutCh {
+		if r.beforeMutate != nil {
+			r.beforeMutate()
+		}
+		batch := append(make([]*mutRequest, 0, r.cfg.MutationBatch), req)
+	drain:
+		for len(batch) < r.cfg.MutationBatch {
+			select {
+			case more, ok := <-e.mutCh:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		r.processBatch(e, batch)
+	}
+}
+
+// processBatch logs, applies and acknowledges one coalesced batch. Ordering
+// is write-ahead: the WAL append+fsync happens BEFORE the engine apply, so
+// an acknowledged mutation is always recoverable, and a WAL failure means
+// the batch was not applied at all.
+func (r *Registry) processBatch(e *Entry, batch []*mutRequest) {
 	start := time.Now()
-	before := inc.FullRebuilds()
-	if add {
-		err = inc.InsertEdge(u, v)
-	} else {
-		err = inc.RemoveEdge(u, v)
+	ops := make([]core.EdgeOp, len(batch))
+	for i, req := range batch {
+		ops[i] = core.EdgeOp{Add: req.add, U: req.u, V: req.v}
 	}
+	if e.wal != nil {
+		if err := e.wal.Append(ops); err != nil {
+			derr := &DurabilityError{Name: e.name, Err: err}
+			e.mu.Lock()
+			if e.walErr == "" {
+				e.walErr = derr.Error()
+			}
+			e.mu.Unlock()
+			r.notifyDurability("error")
+			for _, req := range batch {
+				req.done <- mutOutcome{err: derr}
+			}
+			return
+		}
+		r.notifyDurability("append")
+	}
+	inc := e.inc // set before the worker starts, never reassigned
+	before := inc.FullRebuilds()
+	errs, err := inc.ApplyBatch(ops)
 	if err != nil {
-		return MutationResult{}, err
+		for _, req := range batch {
+			req.done <- mutOutcome{err: err}
+		}
+		return
 	}
 	snap := inc.Snapshot()
-	res := MutationResult{
-		Result: "local",
-		Verts:  snap.Graph.NumVertices(),
-		Edges:  snap.Graph.NumEdges(),
-		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	// Rebuild attribution via the counter delta; with concurrent mutators
-	// the delta may credit a neighbor's rebuild, which only skews the
-	// local/rebuild metric split, never the scores.
+	result := "local"
 	if inc.FullRebuilds() > before {
-		res.Result = "rebuild"
+		result = "rebuild"
 	}
-	r.notifyMutate(res.Result)
-	return res, nil
+	tookMs := float64(time.Since(start)) / float64(time.Millisecond)
+	for i, req := range batch {
+		if errs[i] != nil {
+			req.done <- mutOutcome{err: errs[i]}
+			continue
+		}
+		req.done <- mutOutcome{res: MutationResult{
+			Result:  result,
+			Applied: true,
+			Verts:   snap.Graph.NumVertices(),
+			Edges:   snap.Graph.NumEdges(),
+			Batched: len(batch),
+			TookMs:  tookMs,
+		}}
+		r.notifyMutate(result)
+	}
+	r.notifyBatch(len(batch))
+	if e.wal != nil && e.wal.records >= r.cfg.SnapshotEvery {
+		if err := writeSnapshot(e.dir, snap.Graph); err != nil {
+			e.mu.Lock()
+			if e.walErr == "" {
+				e.walErr = (&DurabilityError{Name: e.name, Err: err}).Error()
+			}
+			e.mu.Unlock()
+			r.notifyDurability("error")
+		} else if err := e.wal.Reset(); err == nil {
+			r.notifyDurability("snapshot")
+		} else {
+			r.notifyDurability("error")
+		}
+	}
+}
+
+// Recover scans DataDir for durable graph directories and re-enqueues a
+// build job for each: snapshot + WAL-tail replay reconstructs the final
+// graph in memory, and the daemon pays one decomposition of that state
+// instead of re-materializing the original source and re-absorbing the whole
+// mutation history. It returns the names it enqueued. Call it once, before
+// serving.
+func (r *Registry) Recover() ([]string, error) {
+	if r.cfg.DataDir == "" {
+		return nil, nil
+	}
+	dirents, err := os.ReadDir(r.cfg.DataDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, de := range dirents {
+		if !de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if !nameRE.MatchString(name) {
+			continue
+		}
+		dir := filepath.Join(r.cfg.DataDir, name)
+		st, err := loadDurable(dir)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// Not a durable graph directory (no meta/snapshot yet).
+				continue
+			}
+			return names, err
+		}
+		e := &Entry{name: name, state: StateLoading, threshold: st.meta.Threshold}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return names, ErrShutdown
+		}
+		if _, ok := r.graphs[name]; ok {
+			r.mu.Unlock()
+			continue
+		}
+		select {
+		case r.jobs <- buildJob{e: e, spec: LoadSpec{Name: name}, pre: st.g}:
+			r.graphs[name] = e
+			names = append(names, name)
+			r.mu.Unlock()
+		default:
+			r.mu.Unlock()
+			return names, &OverloadError{Op: "build", Name: name, RetryAfter: r.cfg.RetryAfter}
+		}
+		r.notifyDurability("recover")
+	}
+	return names, nil
 }
 
 // Census builds the stats view (the bcstats census) of the entry. Redundancy

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -179,8 +180,56 @@ func TestRegistryCloseAbortsQueued(t *testing.T) {
 	}
 	close(gate)
 	<-done
-	if st := waitState(t, eq).State; st != StateFailed {
-		t.Fatalf("queued job state = %s, want failed (aborted by shutdown)", st)
+	// Shutdown aborts are StateAborted, NOT StateFailed: job polling must be
+	// able to tell "the server went down" from "your graph didn't build".
+	info := waitState(t, eq)
+	if info.State != StateAborted {
+		t.Fatalf("queued job state = %s, want aborted (shutdown, not failure)", info.State)
+	}
+	if !strings.Contains(info.Error, "shutdown") {
+		t.Fatalf("abort reason %q does not name shutdown", info.Error)
+	}
+}
+
+func TestRegistryLoadRejectsTraversalNames(t *testing.T) {
+	r := NewRegistry(Config{})
+	defer r.Close()
+	// "." and ".." match the name charset but would escape DataDir when
+	// joined into a durable path.
+	for _, name := range []string{".", ".."} {
+		spec := triangleSpec(name)
+		if _, err := r.Load(spec); err == nil || !strings.Contains(err.Error(), "invalid graph name") {
+			t.Fatalf("name %q: err = %v, want invalid graph name", name, err)
+		}
+	}
+}
+
+func TestRegistryOverloadTyped(t *testing.T) {
+	r := NewRegistry(Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	r.beforeBuild = func() {
+		started <- struct{}{}
+		<-gate
+	}
+	defer func() {
+		close(gate)
+		r.Close()
+	}()
+	if _, err := r.Load(triangleSpec("a")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := r.Load(triangleSpec("b")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Load(triangleSpec("c"))
+	var overload *OverloadError
+	if !errors.As(err, &overload) {
+		t.Fatalf("err = %T %v, want *OverloadError", err, err)
+	}
+	if overload.Op != "build" || overload.RetryAfter != 2*time.Second {
+		t.Fatalf("overload = %+v, want build op with 2s retry", overload)
 	}
 }
 

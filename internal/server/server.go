@@ -102,20 +102,41 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-// writeError maps registry errors onto HTTP status codes.
+// writeError maps registry errors onto HTTP status codes. Overload and
+// shutdown are server-side conditions (429/503), never 400: a client that
+// did nothing wrong must not be told it did.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	var conflict *ConflictError
 	var notReady *NotReadyError
 	var vrange *VertexRangeError
+	var overload *OverloadError
+	var durability *DurabilityError
 	switch {
+	case errors.As(err, &overload):
+		// Admission control: load shedding with an explicit backoff hint.
+		retry := int(overload.RetryAfter / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrShutdown):
+		code = http.StatusServiceUnavailable
+	case errors.As(err, &durability):
+		// The storage layer failed, not the request.
+		code = http.StatusInternalServerError
 	case errors.As(err, &conflict):
 		code = http.StatusConflict
 	case errors.As(err, &notReady):
-		if notReady.State == StateLoading {
+		switch notReady.State {
+		case StateLoading:
 			// The canonical "come back later" answer for job polling.
 			code = http.StatusConflict
-		} else {
+		case StateAborted:
+			// Shutdown took the build down, not a bad request.
+			code = http.StatusServiceUnavailable
+		default:
 			code = http.StatusUnprocessableEntity
 		}
 	case errors.As(err, &vrange):
@@ -219,6 +240,22 @@ func (s *Server) handleBC(w http.ResponseWriter, r *http.Request) {
 	var scores []float64
 	switch mode := q.Get("mode"); mode {
 	case "", "exact":
+		if top > 0 {
+			// Exact top-K: coalesced path. Identical queries on the same
+			// epoch share one ranking pass (and concurrent duplicates block
+			// on the first instead of redoing the sort), so the cached-read
+			// lane costs O(k) per request while mutations rebuild.
+			ranked, n, hit, err := e.TopKCoalesced(top)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			s.reg.notifyTopK(hit)
+			resp.Verts = n
+			resp.Top = ranked
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		// The epoch's score vector is immutable, so the handler serves it
 		// without copying; JSON encoding only reads it.
 		var err error
@@ -329,10 +366,17 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, add bool) {
 		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	if err := r.Context().Err(); err != nil {
-		// The client has gone; skip the recompute rather than burn CPU on an
-		// answer nobody reads.
-		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: "request canceled"})
+	if r.Context().Err() != nil {
+		// The client disconnected or canceled BEFORE we enqueued anything:
+		// skip the write entirely and say so unambiguously. 499 (nginx's
+		// "client closed request") rather than 400 — the request wasn't
+		// malformed, it was abandoned. Once Mutate enqueues, it waits for
+		// the outcome regardless of the client, so a 200 always means the
+		// mutation was applied and an abort always means it was not.
+		s.writeJSON(w, statusClientClosedRequest, canceledBody{
+			Error:   "request canceled before any write",
+			Applied: false,
+		})
 		return
 	}
 	res, err := s.reg.Mutate(e, add, req.From, req.To)
@@ -341,6 +385,17 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, add bool) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request the
+// client abandoned; Go's net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+// canceledBody is the mutation-abort response: Applied is explicit so the
+// effect-vs-abort status never has to be inferred from the status code.
+type canceledBody struct {
+	Error   string `json:"error"`
+	Applied bool   `json:"applied"`
 }
 
 func (s *Server) handleInsertEdge(w http.ResponseWriter, r *http.Request) { s.mutate(w, r, true) }
