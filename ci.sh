@@ -4,15 +4,18 @@
 #   2. tier-1: go build ./... && go test ./...
 #   3. godoc gate: every internal package must open with a package comment
 #   4. race pass over the parallel hot paths and the serving subsystem
-#      (core, par, brandes, approx, server, the ws arena), plus an explicit
-#      scheduler gate: the dynamic unit scheduler must match serial Brandes
-#      at workers 1, 2, 4 and 8 under -race
+#      (core, par, brandes, approx, server, the ws arena, the msbfs kernel),
+#      plus an explicit scheduler gate: the dynamic unit scheduler must match
+#      serial Brandes at workers 1, 2, 4 and 8 under -race, and an msbfs
+#      gate: the bit-parallel engine must bit-match the scalar engine (and
+#      the serial-cutoff fallback must be bit-invisible) under -race
 #   5. allocation gates: warm pooled sweeps (core, brandes) and the bcd
 #      top-K serving path must be allocation-free, and the workspace pool
 #      must survive 8 concurrent checkouts under -race; then a -benchmem
 #      benchmark smoke compile-and-run
 #   6. bcbench -json smoke run on the smallest dataset, then the regression
-#      gate self-compared (identical inputs must exit 0)
+#      gate self-compared (identical inputs must exit 0); same for a tiny
+#      -engine sweep, whose records carry the /e=<engine> key suffix
 #   7. approx smoke: full-budget sampling must bit-match exact BC (the
 #      estimator's own K==n self-check on a tiny graph), plus the bcbench
 #      error-vs-speedup sweep at tiny scale
@@ -61,8 +64,8 @@ if [ -n "$undocumented" ]; then
     exit 1
 fi
 
-echo "==> race: internal/core internal/par internal/brandes internal/approx internal/server internal/ws"
-go test -race ./internal/core ./internal/par ./internal/brandes ./internal/approx ./internal/server ./internal/ws
+echo "==> race: internal/core internal/par internal/brandes internal/approx internal/server internal/ws internal/msbfs"
+go test -race ./internal/core ./internal/par ./internal/brandes ./internal/approx ./internal/server ./internal/ws ./internal/msbfs
 
 echo "==> scheduler gate: BC vs serial Brandes at workers 1,2,4(,8) under -race"
 # The worker-sweep test runs the dynamic scheduler at workers 1, 2, 4 and 8
@@ -71,6 +74,18 @@ echo "==> scheduler gate: BC vs serial Brandes at workers 1,2,4(,8) under -race"
 # static==dynamic and run-to-run bit stability.
 go test -race -count=1 \
     -run 'TestSchedulerWorkerSweepMatchesBrandes|TestSchedulerStaticDynamicEquivalent|TestSchedulerDeterministic' \
+    ./internal/core
+
+echo "==> msbfs gate: batched engine bit-match vs scalar under -race"
+# The kernel suite pins Brandes equivalence and batch-width bit-invariance;
+# the core suite pins scalar==msbfs bit-equality at workers 1,2,4,8 across
+# all families (directed and disconnected included) and that the
+# small-graph serial-cutoff fallback never changes a bit.
+go test -race -count=1 \
+    -run 'TestKernelMatchesBrandes|TestKernelBatchWidthBitInvariant' \
+    ./internal/msbfs
+go test -race -count=1 \
+    -run 'TestMSBFSEngineBitMatchesScalar|TestMSBFSEngineDeterministic|TestDynamicSerialCutoffBoundary' \
     ./internal/core
 
 echo "==> alloc gates: warm sweeps and the top-K serving path allocate zero"
@@ -88,6 +103,12 @@ go run ./cmd/bcbench -table 2 -datasets email-enron -scale 0.05 -json "$tmp"
 artifact=$(ls "$tmp"/BENCH_*.json)
 echo "==> bcbench -check self-compare ($artifact)"
 go run ./cmd/bcbench -check -tolerance 5 "$artifact" "$artifact"
+
+echo "==> bcbench -engine smoke (email-enron, scale 0.05) + -check self-compare"
+# The engine sweep cross-checks msbfs against scalar bit-for-bit inside the
+# run; the self-compare proves the /e=<engine> record keys round-trip.
+go run ./cmd/bcbench -engine -datasets email-enron -scale 0.05 -json "$tmp/engine.json"
+go run ./cmd/bcbench -check -tolerance 5 "$tmp/engine.json" "$tmp/engine.json"
 
 echo "==> approx smoke: K==n bit-match + tiny error-vs-speedup sweep"
 go test -race -run 'TestExactBudgetBitMatch|TestSeededDeterminism' ./internal/approx

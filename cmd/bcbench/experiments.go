@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -507,6 +508,97 @@ func schedulerExperiment(c config) error {
 				}
 				c.record(rec)
 				row = append(row, metrics.FormatDuration(d))
+			}
+			if gain == "" {
+				gain = "-"
+			}
+			t.AddRow(append(row, gain)...)
+		}
+	}
+	t.Render(c.w())
+	return nil
+}
+
+// engineExperiment sweeps the root-sweep kernel — the scalar one-root-per-
+// sweep baseline vs the bit-parallel multi-source batched engine
+// (core.EngineMSBFS) — at serial and the harness worker count on every
+// selected dataset. The decomposition is built once per graph and kept out of
+// the timed region, so the MTEPS column isolates the sweep kernels
+// themselves; the msbfs row's speedup column is measured against the scalar
+// engine at the same worker count, so the BENCH record directly certifies the
+// batching win. Every msbfs cell is also checked bit-for-bit against the
+// scalar result at the same worker count — the engine-equivalence contract
+// rides along with each benchmark run instead of living only in unit tests.
+func engineExperiment(c config) error {
+	sweep := []int{1, c.workers}
+	if c.workers <= 1 {
+		sweep = []int{1}
+	}
+	engines := []core.RootEngine{core.EngineScalar, core.EngineMSBFS}
+	t := &metrics.Table{
+		Title:   "Engine sweep. APGRE scalar vs bit-parallel msbfs sweeps",
+		Headers: append([]string{"graph", "engine"}, append(workerHeaders(sweep), "gain")...),
+	}
+	for _, ds := range c.selected() {
+		g := ds.Build(c.scale)
+		d, err := decompose.Decompose(g, decompose.Options{
+			Threshold: c.threshold, Workers: c.workers})
+		if err != nil {
+			return err
+		}
+		scalarWall := map[int]time.Duration{}
+		scalarBC := map[int][]float64{}
+		for _, eng := range engines {
+			row := []any{ds.Name, eng.String()}
+			var gain string
+			for _, w := range sweep {
+				// Best-of-N with an adaptive N: sub-millisecond cells are
+				// noise-dominated in one shot, so repeat until ~150ms of
+				// total measurement (capped at 20 reps) and keep the
+				// fastest run. The work is deterministic, so the fastest
+				// run is the least-perturbed measurement of the same
+				// computation — the 2× claim should not hinge on scheduler
+				// jitter.
+				var bd core.Breakdown
+				var bc []float64
+				var dur time.Duration
+				for rep, spent := 0, time.Duration(0); rep == 0 || (spent < 150*time.Millisecond && rep < 20); rep++ {
+					var repBd core.Breakdown
+					start := time.Now()
+					repBC, err := core.ComputeDecomposed(d, core.Options{Workers: w,
+						Threshold: c.threshold, RootEngine: eng, Breakdown: &repBd})
+					if err != nil {
+						return err
+					}
+					el := time.Since(start)
+					spent += el
+					if rep == 0 || el < dur {
+						dur, bc, bd = el, repBC, repBd
+					}
+				}
+				rec := metrics.Record{Experiment: "engine", Graph: ds.Name,
+					Algorithm: "apgre", Workers: w, Engine: eng.String(),
+					Verts: g.NumVertices(), Edges: g.NumEdges(), Wall: dur,
+					MTEPS:         metrics.MTEPS(g.NumVertices(), g.NumEdges(), dur),
+					TraversedArcs: bd.TraversedArcs}
+				if eng == core.EngineScalar {
+					scalarWall[w] = dur
+					scalarBC[w] = bc
+					rec.Speedup = 1
+				} else {
+					rec.Speedup = metrics.Speedup(scalarWall[w], dur)
+					if w == sweep[len(sweep)-1] {
+						gain = metrics.FormatSpeedup(rec.Speedup)
+					}
+					for v := range bc {
+						if math.Float64bits(bc[v]) != math.Float64bits(scalarBC[w][v]) {
+							return fmt.Errorf("engine sweep: %s p=%d vertex %d: msbfs %v != scalar %v",
+								ds.Name, w, v, bc[v], scalarBC[w][v])
+						}
+					}
+				}
+				c.record(rec)
+				row = append(row, metrics.FormatDuration(dur))
 			}
 			if gain == "" {
 				gain = "-"

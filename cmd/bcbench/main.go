@@ -13,6 +13,7 @@
 //	bcbench -figure 10        # Figure 10: APGRE thread scaling
 //	bcbench -approx           # approximate BC: error vs speedup sweep
 //	bcbench -sched            # scheduler sweep: static vs dynamic units
+//	bcbench -engine           # engine sweep: scalar vs msbfs batched sweeps
 //	bcbench -all              # everything, in paper order
 //
 // -scale multiplies dataset sizes (default 0.25 keeps a full -all run in
@@ -57,6 +58,7 @@ func main() {
 		ext        = flag.Bool("ext", false, "run the extension experiments (weighted, closeness, incremental)")
 		approxExp  = flag.Bool("approx", false, "run the approximate-BC error-vs-speedup sweep")
 		sched      = flag.Bool("sched", false, "run the static-vs-dynamic scheduler worker sweep")
+		engineExp  = flag.Bool("engine", false, "run the scalar-vs-msbfs sweep-engine comparison")
 		jsonOut    = flag.String("json", "", "write a machine-readable BENCH_<stamp>.json to this file or directory")
 		check      = flag.Bool("check", false, "compare two BENCH_*.json files (old new) and fail on regressions")
 		tolerance  = flag.Float64("tolerance", 10, "allowed wall-time / traversed-arc growth for -check, in percent")
@@ -148,6 +150,10 @@ func main() {
 	}
 	if *all || *sched {
 		run("scheduler", schedulerExperiment)
+		ran = true
+	}
+	if *all || *engineExp {
+		run("engine", engineExperiment)
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,73 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestEngineBitMatch pins the estimator's engine-independence: the batched
+// msbfs pivot path must reproduce the scalar path bit for bit at partial
+// budgets (same seed → same pivot sets → identical sweep arithmetic) and at
+// the full-budget exact replay, for serial and parallel workers.
+func TestEngineBitMatch(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, pivots := range []int{20, g.NumVertices()} {
+			for _, workers := range []int{1, 4} {
+				opt := Options{Pivots: pivots, Seed: 11, Workers: workers}
+				want, err := Estimate(g, opt)
+				if err != nil {
+					t.Fatalf("%s scalar: %v", name, err)
+				}
+				opt.Engine = core.EngineMSBFS
+				got, err := Estimate(g, opt)
+				if err != nil {
+					t.Fatalf("%s msbfs: %v", name, err)
+				}
+				if want.Pivots != got.Pivots || want.Exact != got.Exact {
+					t.Fatalf("%s pivots=%d w=%d: shape diverged: (%d,%v) vs (%d,%v)",
+						name, pivots, workers, want.Pivots, want.Exact, got.Pivots, got.Exact)
+				}
+				for v := range want.BC {
+					if math.Float64bits(want.BC[v]) != math.Float64bits(got.BC[v]) {
+						t.Fatalf("%s pivots=%d w=%d vertex %d: scalar %v, msbfs %v",
+							name, pivots, workers, v, want.BC[v], got.BC[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineExactBudgetBitMatch: the full-budget msbfs estimator still
+// replays the exact coarse serial path bit for bit — batching must not cost
+// the K == n guarantee.
+func TestEngineExactBudgetBitMatch(t *testing.T) {
+	for name, g := range testGraphs() {
+		want := exactReference(t, g)
+		res, err := Estimate(g, Options{
+			Pivots: g.NumVertices(), Seed: 42, Engine: core.EngineMSBFS,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Exact {
+			t.Errorf("%s: full budget not flagged exact", name)
+		}
+		for v := range want {
+			if res.BC[v] != want[v] {
+				t.Fatalf("%s: vertex %d: msbfs approx %v != exact %v (bit mismatch)",
+					name, v, res.BC[v], want[v])
+			}
+		}
+	}
+}
+
+// TestEngineValidation: an out-of-range engine is rejected up front.
+func TestEngineValidation(t *testing.T) {
+	g := testGraphs()["path"]
+	if _, err := Estimate(g, Options{Pivots: 4, Engine: core.RootEngine(9)}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

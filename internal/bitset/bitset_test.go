@@ -180,6 +180,83 @@ func TestWordAccess(t *testing.T) {
 	}
 }
 
+func TestWordLaneHelpers(t *testing.T) {
+	b := New(200)
+	b.Set(5)
+	b.Set(70)
+	if w, base := b.WordAt(5); w != 1<<5 || base != 0 {
+		t.Fatalf("WordAt(5) = %#x, %d", w, base)
+	}
+	if w, base := b.WordAt(70); w != 1<<6 || base != 64 {
+		t.Fatalf("WordAt(70) = %#x, %d", w, base)
+	}
+	b.OrWord(1, 0xf0)
+	for _, i := range []int{68, 69, 70, 71} {
+		if !b.Get(i) {
+			t.Fatalf("OrWord missed bit %d", i)
+		}
+	}
+	b.AndNotWord(1, 0x30)
+	if b.Get(68) || b.Get(69) || !b.Get(70) || !b.Get(71) {
+		t.Fatal("AndNotWord cleared the wrong lanes")
+	}
+	b.SetWord(2, 0b101)
+	if !b.Get(128) || b.Get(129) || !b.Get(130) {
+		t.Fatal("SetWord wrote the wrong lanes")
+	}
+	// ForEachWord must reconstruct exactly the member set.
+	var fromWords []int
+	b.ForEachWord(func(wi int, w uint64) {
+		ForEachLane(w, func(lane int) { fromWords = append(fromWords, wi*64+lane) })
+	})
+	var fromEach []int
+	b.ForEach(func(i int) { fromEach = append(fromEach, i) })
+	if len(fromWords) != len(fromEach) {
+		t.Fatalf("word scan found %d members, ForEach %d", len(fromWords), len(fromEach))
+	}
+	for i := range fromEach {
+		if fromWords[i] != fromEach[i] {
+			t.Fatalf("word scan[%d] = %d, ForEach %d", i, fromWords[i], fromEach[i])
+		}
+	}
+}
+
+func TestLaneMask(t *testing.T) {
+	cases := map[int]uint64{
+		-1: 0, 0: 0, 1: 1, 2: 3, 63: ^uint64(0) >> 1, 64: ^uint64(0), 70: ^uint64(0),
+	}
+	for k, want := range cases {
+		if got := LaneMask(k); got != want {
+			t.Fatalf("LaneMask(%d) = %#x, want %#x", k, got, want)
+		}
+	}
+	// LaneMask(k) must agree with setting lanes 0..k-1 one by one.
+	for k := 0; k <= 64; k++ {
+		var want uint64
+		for l := 0; l < k; l++ {
+			want |= 1 << uint(l)
+		}
+		if got := LaneMask(k); got != want {
+			t.Fatalf("LaneMask(%d) = %#x, want %#x", k, got, want)
+		}
+	}
+}
+
+func TestForEachLaneOrder(t *testing.T) {
+	var got []int
+	ForEachLane(1|1<<7|1<<63, func(lane int) { got = append(got, lane) })
+	want := []int{0, 7, 63}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachLane visited %d lanes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachLane[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	ForEachLane(0, func(int) { t.Fatal("ForEachLane visited a lane of the zero word") })
+}
+
 func TestZeroCapacity(t *testing.T) {
 	b := New(0)
 	if b.Count() != 0 || b.Len() != 0 {

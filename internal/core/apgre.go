@@ -92,6 +92,12 @@ type Options struct {
 	// Scheduler selects the work-distribution scheme; the zero value is
 	// SchedulerDynamic.
 	Scheduler Scheduler
+	// RootEngine selects the sweep kernel for unweighted graphs under the
+	// dynamic scheduler; the zero value is EngineScalar. EngineMSBFS batches
+	// up to 64 roots per traversal (internal/msbfs) and is bit-identical to
+	// scalar, so this is purely a performance knob. Weighted graphs and
+	// SchedulerStatic silently use the scalar engine.
+	RootEngine RootEngine
 	// FineCutoff is the vertex count at or above which a sub-graph uses
 	// fine-grained parallelism under StrategyTwoLevel; <= 0 means 2048.
 	// The dynamic scheduler uses the same cutoff only to attribute time to
@@ -177,6 +183,11 @@ func ComputeDecomposed(d *decompose.Decomposition, opt Options) ([]float64, erro
 	case SchedulerDynamic, SchedulerStatic:
 	default:
 		return nil, fmt.Errorf("core: unknown scheduler %d", opt.Scheduler)
+	}
+	switch opt.RootEngine {
+	case EngineScalar, EngineMSBFS:
+	default:
+		return nil, fmt.Errorf("core: unknown root engine %d", opt.RootEngine)
 	}
 	// StrategyFineOnly is inherently phase-structured (one level-synchronous
 	// sub-graph at a time), so it always takes the static path.

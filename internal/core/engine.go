@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decompose"
+	"repro/internal/msbfs"
+	"repro/internal/ws"
+)
+
+// RootEngine selects the sweep kernel the dynamic scheduler drives for
+// unweighted graphs. Both engines compute bit-identical scores (see
+// internal/msbfs's package comment for why batching cannot change a bit), so
+// the choice is purely a performance knob: the batched engine amortizes one
+// CSR stream over up to 64 roots and wins on graphs whose sub-graphs keep
+// many roots after γ elimination; the scalar engine has no per-batch
+// overhead and wins on small or root-poor sub-graphs (the msbfsState
+// break-even guard picks per sub-graph automatically).
+type RootEngine int
+
+const (
+	// EngineScalar is the default: one root per sweep (serialState), with
+	// the direction-optimizing hybrid σ-BFS on large sub-graphs.
+	EngineScalar RootEngine = iota
+	// EngineMSBFS batches up to ws.LaneWidth roots per traversal using the
+	// bit-parallel multi-source kernel (internal/msbfs). Weighted graphs and
+	// the static scheduler always use the scalar engine regardless of this
+	// setting — the batched kernel is BFS-based and integrates behind the
+	// dynamic unit queue only.
+	EngineMSBFS
+)
+
+// String returns the engine name used in benchmark record keys and flags.
+func (e RootEngine) String() string {
+	switch e {
+	case EngineScalar:
+		return "scalar"
+	case EngineMSBFS:
+		return "msbfs"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseRootEngine maps an engine name ("scalar", "msbfs"; "" means scalar)
+// to its RootEngine value.
+func ParseRootEngine(name string) (RootEngine, error) {
+	switch name {
+	case "", "scalar":
+		return EngineScalar, nil
+	case "msbfs":
+		return EngineMSBFS, nil
+	default:
+		return 0, fmt.Errorf("core: unknown root engine %q (want scalar or msbfs)", name)
+	}
+}
+
+// Break-even gates for the batched kernel, per (sub-graph, root-range) unit:
+// below either bound the per-batch overhead (lane bookkeeping, the 64-slot
+// stride on every σ/δ access) costs more than the shared CSR stream saves,
+// and msbfsState degrades to the scalar per-root loop. The fallback is
+// unobservable in the output — both paths are bit-identical — so the bounds
+// are tuned purely for speed. Measured on the power-law stand-ins (best-of-30
+// single-thread sweeps): minVerts 128→64 doubled the wiki-talk win (its many
+// 64-128-vertex sub-graphs batch profitably), while 32 and below regressed
+// the fragmented email-euall stand-in; minLanes was flat across 4/8/16.
+const (
+	msbfsMinLanes = 8
+	msbfsMinVerts = 64
+)
+
+// batchEngine extends rootEngine with a root-range entry point. drainUnits
+// feeds whole unit ranges to engines that implement it, letting the msbfs
+// kernel batch them; plain engines get the per-root loop.
+type batchEngine interface {
+	rootEngine
+	runRoots(sg *decompose.Subgraph, roots []int32, directed bool)
+}
+
+// msbfsState is the dynamic scheduler's batched engine: the bit-parallel
+// multi-source kernel for unit ranges above the break-even gates, the
+// embedded scalar serialState below them (and for rootEngine's one-root
+// path). Both feed the same pooled ws.Sweep accumulation buffer, so a unit
+// may mix batched and scalar sweeps freely.
+type msbfsState struct {
+	serialState
+	kernel msbfs.Kernel
+}
+
+func (st *msbfsState) runRoots(sg *decompose.Subgraph, roots []int32, directed bool) {
+	if len(roots) < msbfsMinLanes || sg.NumVerts() < msbfsMinVerts {
+		for _, s := range roots {
+			st.runRoot(sg, s, directed)
+		}
+		return
+	}
+	for lo := 0; lo < len(roots); lo += ws.LaneWidth {
+		hi := lo + ws.LaneWidth
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		st.traversed += st.kernel.Run(sg, roots[lo:hi], directed, st.ws)
+	}
+}
+
+// dynamicSerialCutoff is the small-graph break-even guard: when the whole
+// decomposition's estimated sweep cost Σ|roots|·(|V|+|E|) falls below it,
+// computeDynamic degrades to the p == 1 serial coarse path even if more
+// workers were requested — below this much work, worker startup and the
+// per-unit partial-array merges cost more than the parallelism returns
+// (ROADMAP: road-network inputs ran 1.5× slower at p=8 than p=1). The
+// fallback is bit-invisible because it drains the SAME unit list serially:
+// unit boundaries fix each sub-graph's partial-sum association, and the
+// serial drain's in-order flushes replay the parallel drain's canonical
+// merge addition for addition. A var, not a const, so tests can pin
+// bit-equality across the boundary by moving it.
+var dynamicSerialCutoff int64 = 1 << 21
+
+// totalSweepCost estimates the decomposition's full sweep work under the
+// scalar cost model (the guard is an absolute work bound, so it uses the
+// engine-independent model).
+func totalSweepCost(d *decompose.Decomposition) int64 {
+	var total int64
+	for _, sg := range d.Subgraphs {
+		total += int64(len(sg.Roots)) * (int64(sg.NumVerts()) + sg.NumArcs())
+	}
+	return total
+}

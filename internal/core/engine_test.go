@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/brandes"
+	"repro/internal/decompose"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ws"
+)
+
+// engineFamilies is the nine-family suite plus a disconnected graph (two
+// components, isolated vertices) — the batched kernel must handle lanes that
+// never reach most of the sub-graph.
+func engineFamilies() map[string]*graph.Graph {
+	fams := schedFamilies()
+	fams["disconnected"] = graph.NewFromEdges(40, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0},
+		{From: 2, To: 4}, {From: 4, To: 5}, {From: 5, To: 6},
+		{From: 10, To: 11}, {From: 11, To: 12}, {From: 12, To: 10},
+		{From: 12, To: 13}, {From: 13, To: 14}, {From: 14, To: 15},
+	}, false)
+	return fams
+}
+
+// forceParallel drops the small-graph serial guard for the duration of a
+// test so multi-worker paths genuinely engage on test-sized graphs.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := dynamicSerialCutoff
+	dynamicSerialCutoff = 0
+	t.Cleanup(func() { dynamicSerialCutoff = old })
+}
+
+func bcBitsEqual(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	for v := range want {
+		if math.Float64bits(want[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("%s: engines differ at vertex %d: %v vs %v (bits %#x vs %#x)",
+				name, v, want[v], got[v],
+				math.Float64bits(want[v]), math.Float64bits(got[v]))
+		}
+	}
+}
+
+// TestMSBFSEngineBitMatchesScalar is the msbfs determinism suite: on every
+// family (directed and disconnected included) and at every worker count, the
+// batched engine returns bit-identical scores to the scalar engine at the
+// same worker count — the acceptance pin that makes EngineMSBFS a pure
+// performance knob. (Worker count itself legitimately shapes unit
+// boundaries and hence partial-sum association; the invariant is that the
+// ENGINE never does.)
+func TestMSBFSEngineBitMatchesScalar(t *testing.T) {
+	forceParallel(t)
+	for name, g := range engineFamilies() {
+		for _, p := range []int{1, 2, 4, 8} {
+			want, err := Compute(g, Options{Workers: p, Threshold: 8, FineCutoff: 64})
+			if err != nil {
+				t.Fatalf("%s p=%d scalar: %v", name, p, err)
+			}
+			got, err := Compute(g, Options{
+				Workers: p, Threshold: 8, FineCutoff: 64, RootEngine: EngineMSBFS,
+			})
+			if err != nil {
+				t.Fatalf("%s p=%d msbfs: %v", name, p, err)
+			}
+			bcBitsEqual(t, name, want, got)
+		}
+	}
+}
+
+// TestMSBFSEngineMatchesBrandes anchors the batched engine to ground truth
+// (two engines could be bit-equal and both wrong).
+func TestMSBFSEngineMatchesBrandes(t *testing.T) {
+	forceParallel(t)
+	for name, g := range engineFamilies() {
+		want := brandes.Serial(g)
+		got, err := Compute(g, Options{
+			Workers: 4, Threshold: 8, FineCutoff: 64, RootEngine: EngineMSBFS,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if i, ok := bcClose(want, got, 1e-9); !ok {
+			t.Fatalf("%s: msbfs differs from Brandes at vertex %d: want %v got %v",
+				name, i, want[i], got[i])
+		}
+	}
+}
+
+// TestMSBFSBatchRemainder pins the partial-batch path above the break-even
+// gates: a sub-graph whose root count is not a multiple of the lane width
+// must route its tail roots through a partial-word batch and still match the
+// scalar engine bit for bit.
+func TestMSBFSBatchRemainder(t *testing.T) {
+	forceParallel(t)
+	g := gen.ErdosRenyi(500, 1500, false, 3)
+	d, err := decompose.Decompose(g, decompose.Options{Threshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := false
+	for _, sg := range d.Subgraphs {
+		if sg.NumVerts() >= msbfsMinVerts && len(sg.Roots) >= msbfsMinLanes &&
+			len(sg.Roots)%ws.LaneWidth != 0 {
+			over = true
+		}
+	}
+	if !over {
+		t.Fatal("test graph has no sub-graph exercising a partial batch above the gates")
+	}
+	for _, p := range []int{1, 8} {
+		want, err := ComputeDecomposed(d, Options{Workers: p, Threshold: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeDecomposed(d, Options{
+			Workers: p, Threshold: 8, RootEngine: EngineMSBFS,
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		bcBitsEqual(t, "er500", want, got)
+	}
+}
+
+// TestMSBFSEngineDeterministic reruns the batched engine at p=8 and demands
+// bit-identical output — the scheduler's deterministic merge must hold with
+// batch-granular units too.
+func TestMSBFSEngineDeterministic(t *testing.T) {
+	forceParallel(t)
+	g := schedFamilies()["social"]
+	base, err := Compute(g, Options{Workers: 8, Threshold: 8, FineCutoff: 64, RootEngine: EngineMSBFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		got, err := Compute(g, Options{Workers: 8, Threshold: 8, FineCutoff: 64, RootEngine: EngineMSBFS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcBitsEqual(t, "social rerun", base, got)
+	}
+}
+
+// TestDynamicSerialCutoffBoundary pins the small-graph break-even guard's
+// bit-neutrality: the same multi-worker request run just below the guard
+// (degraded to the serial coarse path) and with the guard disabled (true
+// 8-worker drain) must produce identical bits, for both engines. The guard
+// may therefore move freely as break-even tuning evolves without any
+// observable output change.
+func TestDynamicSerialCutoffBoundary(t *testing.T) {
+	old := dynamicSerialCutoff
+	t.Cleanup(func() { dynamicSerialCutoff = old })
+	for name, g := range engineFamilies() {
+		for _, eng := range []RootEngine{EngineScalar, EngineMSBFS} {
+			dynamicSerialCutoff = 1 << 62 // guard always fires: serial path
+			serial, err := Compute(g, Options{
+				Workers: 8, Threshold: 8, FineCutoff: 64, RootEngine: eng,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v serial-guarded: %v", name, eng, err)
+			}
+			dynamicSerialCutoff = 0 // guard never fires: real parallel drain
+			parallel, err := Compute(g, Options{
+				Workers: 8, Threshold: 8, FineCutoff: 64, RootEngine: eng,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v parallel: %v", name, eng, err)
+			}
+			bcBitsEqual(t, name+"/"+eng.String(), serial, parallel)
+		}
+	}
+}
+
+// TestRootSweepRunBatchBitMatch pins RunBatch's contract: batching pivots is
+// bit-identical to running them one at a time, above and below the
+// break-even gates.
+func TestRootSweepRunBatchBitMatch(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"social": schedFamilies()["social"], // above the gates
+		"path":   gen.Path(20),              // below: scalar fallback path
+	} {
+		d, err := decompose.Decompose(g, decompose.Options{Threshold: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var one, batch RootSweep
+		for _, sg := range d.Subgraphs {
+			n := sg.NumVerts()
+			for _, s := range sg.Roots {
+				one.Run(sg, s, g.Directed())
+			}
+			batch.RunBatch(sg, sg.Roots, g.Directed())
+			a := make([]float64, n)
+			b := make([]float64, n)
+			one.Collect(a)
+			batch.Collect(b)
+			for l := range a {
+				if math.Float64bits(a[l]) != math.Float64bits(b[l]) {
+					t.Fatalf("%s sg %d vertex %d: Run %v, RunBatch %v", name, sg.ID, l, a[l], b[l])
+				}
+			}
+		}
+		if tr1, tr2 := one.Traversed(), batch.Traversed(); tr1 != tr2 {
+			t.Fatalf("%s: traversed metric diverged: Run %d, RunBatch %d", name, tr1, tr2)
+		}
+		one.Release()
+		batch.Release()
+	}
+}
+
+// TestRootEngineStringParse covers the flag round-trip and validation.
+func TestRootEngineStringParse(t *testing.T) {
+	for _, e := range []RootEngine{EngineScalar, EngineMSBFS} {
+		got, err := ParseRootEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseRootEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if e, err := ParseRootEngine(""); err != nil || e != EngineScalar {
+		t.Fatalf("empty engine name: %v, %v", e, err)
+	}
+	if _, err := ParseRootEngine("simd"); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+	if RootEngine(99).String() == "" {
+		t.Fatal("out-of-range String is empty")
+	}
+	if _, err := Compute(gen.Path(4), Options{RootEngine: RootEngine(99)}); err == nil {
+		t.Fatal("Compute accepted an unknown root engine")
+	}
+}

@@ -99,11 +99,18 @@ func (s Snapshot) BC() []float64 {
 func (s Snapshot) BCView() []float64 { return s.bc }
 
 // NewIncremental decomposes g and computes the initial scores. The Options'
-// parallel settings are ignored (updates run serially); Threshold and
-// DisableGamma apply.
+// parallel settings are ignored (updates run serially); Threshold,
+// DisableGamma and RootEngine apply — the engine choice is bit-invisible in
+// the scores (see RootEngine), so mutations absorbed under either engine
+// publish identical epochs.
 func NewIncremental(g *graph.Graph, opt Options) (*Incremental, error) {
 	if g.Weighted() {
 		return nil, fmt.Errorf("core: incremental BC supports unweighted graphs only")
+	}
+	switch opt.RootEngine {
+	case EngineScalar, EngineMSBFS:
+	default:
+		return nil, fmt.Errorf("core: unknown root engine %d", opt.RootEngine)
 	}
 	inc := &Incremental{
 		opt:      opt,
@@ -198,14 +205,18 @@ func (inc *Incremental) rebuild() error {
 func (inc *Incremental) recompute(next *epochState, si int) error {
 	sg := next.d.Subgraphs[si]
 	n := sg.NumVerts()
-	st := &serialState{}
+	st := &msbfsState{}
 	if n >= hybridMinVerts {
 		sg.EnsureIn()
 		st.hybridFrac = resolveFrac(inc.opt.BottomUpFrac)
 	}
 	st.ensure(n)
-	for _, s := range sg.Roots {
-		st.runRoot(sg, s, inc.directed)
+	if inc.opt.RootEngine == EngineMSBFS {
+		st.runRoots(sg, sg.Roots, inc.directed)
+	} else {
+		for _, s := range sg.Roots {
+			st.runRoot(sg, s, inc.directed)
+		}
 	}
 	fresh := make([]float64, n)
 	copy(fresh, st.ws.BC[:n])

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/decompose"
 	"repro/internal/par"
+	"repro/internal/ws"
 )
 
 // The dynamic scheduler replaces the legacy phase-A/phase-B split with one
@@ -83,15 +84,36 @@ func prepareHybrid(d *decompose.Decomposition, frac float64) {
 	}
 }
 
+// unitCost estimates the sweep work for nr roots of sg. The scalar engine
+// pays one traversal per root, |roots|·(|V|+|E|); the batched engine shares
+// each traversal across a lane word, ⌈|roots|/LaneWidth⌉·(|V|+|E|).
+func unitCost(sg *decompose.Subgraph, nr int, laneBatched bool) int64 {
+	work := int64(sg.NumVerts()) + sg.NumArcs()
+	if laneBatched {
+		return int64((nr+ws.LaneWidth-1)/ws.LaneWidth) * work
+	}
+	return int64(nr) * work
+}
+
 // buildUnits constructs the work-unit list in canonical (sgIdx, root-range)
 // order. chunking splits costly sub-graphs into root ranges sized so the
 // queue holds a few units per worker; otherwise every unit is a whole
 // sub-graph. cutoff classifies units as "big" for Breakdown attribution.
-func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking bool) []workUnit {
+//
+// Unit BOUNDARIES are engine-independent: the chunk count always comes from
+// the scalar cost model, and chunk sizes are rounded up to whole lane words
+// for every engine. Boundaries determine the floating-point association of
+// each sub-graph's per-unit partial sums, so keeping them fixed is what
+// makes the engine choice bit-invisible (and lets the batched engine run
+// whole lane words per unit with no boundary ever splitting a batch). Unit
+// cost, by contrast, uses the requested engine's model (laneBatched switches
+// to ⌈roots/LaneWidth⌉·(|V|+|E|)); it only orders the drain queue, which the
+// canonical merge makes bit-neutral.
+func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking, laneBatched bool) []workUnit {
 	var total int64
 	costs := make([]int64, len(d.Subgraphs))
 	for i, sg := range d.Subgraphs {
-		costs[i] = int64(len(sg.Roots)) * (int64(sg.NumVerts()) + sg.NumArcs())
+		costs[i] = unitCost(sg, len(sg.Roots), false)
 		total += costs[i]
 	}
 	var units []workUnit
@@ -113,8 +135,10 @@ func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking bool) []work
 			}
 		}
 		per := (nr + chunks - 1) / chunks
+		if per%ws.LaneWidth != 0 && per < nr {
+			per += ws.LaneWidth - per%ws.LaneWidth
+		}
 		big := i == d.TopIndex || sg.NumVerts() >= cutoff
-		perRoot := costs[i] / int64(nr)
 		for lo := 0; lo < nr; lo += per {
 			hi := lo + per
 			if hi > nr {
@@ -122,7 +146,7 @@ func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking bool) []work
 			}
 			units = append(units, workUnit{
 				sg: sg, sgIdx: i, lo: lo, hi: hi, big: big,
-				cost: perRoot * int64(hi-lo),
+				cost: unitCost(sg, hi-lo, laneBatched),
 			})
 		}
 	}
@@ -137,8 +161,12 @@ func drainUnits(units []workUnit, p int, directed bool, newEngine func() rootEng
 		n := u.sg.NumVerts()
 		st.ensure(n)
 		t0 := time.Now()
-		for _, s := range u.sg.Roots[u.lo:u.hi] {
-			st.runRoot(u.sg, s, directed)
+		if be, ok := st.(batchEngine); ok {
+			be.runRoots(u.sg, u.sg.Roots[u.lo:u.hi], directed)
+		} else {
+			for _, s := range u.sg.Roots[u.lo:u.hi] {
+				st.runRoot(u.sg, s, directed)
+			}
 		}
 		u.dur = time.Since(t0)
 	}
@@ -211,12 +239,27 @@ func computeDynamic(d *decompose.Decomposition, opt Options, p, cutoff int, bc [
 	frac := resolveFrac(opt.BottomUpFrac)
 	start := time.Now()
 	prepareHybrid(d, frac)
+	batched := opt.RootEngine == EngineMSBFS
+	newEngine := func() rootEngine { return &serialState{hybridFrac: frac} }
+	if batched {
+		newEngine = func() rootEngine {
+			return &msbfsState{serialState: serialState{hybridFrac: frac}}
+		}
+	}
 	// StrategyCoarseOnly promises serial whole-sub-graph processing, so only
 	// StrategyTwoLevel chunks root ranges.
-	units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel)
-	traversed := drainUnits(units, p, directed, func() rootEngine {
-		return &serialState{hybridFrac: frac}
-	}, bc)
+	units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel, batched)
+	// Small-graph break-even guard: below the work cutoff, drain the SAME
+	// unit list with one worker instead of p. The p == 1 drain flushes each
+	// unit's local scores in canonical order — additions identical to the
+	// parallel drain's canonical partial merge — so degrading is bit-exact,
+	// and faster than paying worker startup plus per-unit partial arrays for
+	// a few milliseconds of sweep work.
+	drainP := p
+	if p > 1 && totalSweepCost(d) < dynamicSerialCutoff {
+		drainP = 1
+	}
+	traversed := drainUnits(units, drainP, directed, newEngine, bc)
 	wall := time.Since(start)
 
 	if opt.Breakdown != nil {

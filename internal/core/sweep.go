@@ -3,6 +3,8 @@ package core
 import (
 	"repro/internal/bfs"
 	"repro/internal/decompose"
+	"repro/internal/msbfs"
+	"repro/internal/ws"
 )
 
 // RootSweep exposes the serial four-dependency engine (state.go) one root at
@@ -22,7 +24,8 @@ import (
 // one RootSweep per worker warm across requests) should call Release when
 // idle or discarded so the workspace returns to the pool.
 type RootSweep struct {
-	st serialState
+	st     serialState
+	kernel msbfs.Kernel
 }
 
 // Run executes Algorithm 2 for one root of sg (forward σ BFS plus the
@@ -41,6 +44,30 @@ func (rs *RootSweep) Run(sg *decompose.Subgraph, root int32, directed bool) {
 	}
 	rs.st.ensure(sg.NumVerts())
 	rs.st.runRoot(sg, root, directed)
+}
+
+// RunBatch executes the given roots of sg through the bit-parallel
+// multi-source kernel (internal/msbfs), up to ws.LaneWidth per traversal,
+// accumulating into the same local score buffer as Run. The result is
+// bit-identical to calling Run on each root in order (see the msbfs package
+// comment), so samplers may switch between the two freely — a full-budget
+// batched sample still replays the exact engine bit-for-bit. Below the
+// engine's break-even gates the scalar per-root path is used directly.
+func (rs *RootSweep) RunBatch(sg *decompose.Subgraph, roots []int32, directed bool) {
+	if len(roots) < msbfsMinLanes || sg.NumVerts() < msbfsMinVerts {
+		for _, s := range roots {
+			rs.Run(sg, s, directed)
+		}
+		return
+	}
+	rs.st.ensure(sg.NumVerts())
+	for lo := 0; lo < len(roots); lo += ws.LaneWidth {
+		hi := lo + ws.LaneWidth
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		rs.st.traversed += rs.kernel.Run(sg, roots[lo:hi], directed, rs.st.ws)
+	}
 }
 
 // Collect adds the accumulated local scores for the first len(dst) local

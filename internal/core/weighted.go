@@ -69,7 +69,7 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 		// Unified cost-ordered unit scheduler with Dijkstra engines: same
 		// queue, chunking and deterministic merge as the unweighted path
 		// (sched.go); Dijkstra replaces the σ-BFS inside runRoot.
-		units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel)
+		units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel, false)
 		traversed = drainUnits(units, p, directed, func() rootEngine {
 			return &weightedState{}
 		}, bc)

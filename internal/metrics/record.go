@@ -81,13 +81,19 @@ type Record struct {
 	// workspace arena keeps warm sweeps at ~0. Omitted by experiments that
 	// do not measure it; Compare gates it like wall time.
 	AllocsPerSweep float64 `json:"allocs_per_sweep,omitempty"`
+	// Engine names the sweep kernel the cell ran under
+	// (core.RootEngine.String(): "scalar", "msbfs"). Empty for experiments
+	// that predate the engine option, keeping their keys stable.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Key identifies a record for cross-document comparison. The worker count is
 // always part of the key (runs at different -workers never collide in -check),
 // approximate-mode cells carry their pivot count so one graph's whole
-// error-vs-speedup curve stays addressable, and scheduler-sweep cells carry
-// the scheduler name so static and dynamic measurements diff independently.
+// error-vs-speedup curve stays addressable, and scheduler-sweep and
+// engine-sweep cells carry their scheme names so each variant's measurements
+// diff independently. Empty Scheduler/Engine add nothing, keeping keys from
+// older documents stable.
 func (r Record) Key() string {
 	key := fmt.Sprintf("%s/%s/%s/p=%d", r.Experiment, r.Graph, r.Algorithm, r.Workers)
 	if r.Pivots > 0 {
@@ -95,6 +101,9 @@ func (r Record) Key() string {
 	}
 	if r.Scheduler != "" {
 		key += "/s=" + r.Scheduler
+	}
+	if r.Engine != "" {
+		key += "/e=" + r.Engine
 	}
 	return key
 }

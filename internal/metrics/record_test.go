@@ -226,6 +226,22 @@ func TestKeyDistinguishesWorkersAndScheduler(t *testing.T) {
 		t.Fatalf("composed key: got %q want %q", both.Key(), want)
 	}
 
+	// Engine cells diff independently too, composing after the scheduler;
+	// records without an engine keep their pre-engine key shape.
+	msb := base
+	msb.Engine = "msbfs"
+	if msb.Key() == base.Key() {
+		t.Fatalf("engine names collide: %q", msb.Key())
+	}
+	if want := "tables2-3/email-enron/apgre/p=4/e=msbfs"; msb.Key() != want {
+		t.Fatalf("engine key: got %q want %q", msb.Key(), want)
+	}
+	all := both
+	all.Engine = "scalar"
+	if want := "tables2-3/email-enron/apgre/p=4/k=64/s=dynamic/e=scalar"; all.Key() != want {
+		t.Fatalf("fully composed key: got %q want %q", all.Key(), want)
+	}
+
 	// Compare treats different worker counts / schedulers as disjoint cells:
 	// a regression in one must not hide behind the other.
 	old := NewRecorder(0.25, 4)

@@ -1,0 +1,336 @@
+// Package msbfs implements a bit-parallel multi-source batched sweep engine
+// for APGRE betweenness centrality: one traversal carries up to 64 roots at
+// once, sharing a single CSR stream across the whole batch instead of
+// re-reading the adjacency once per root.
+//
+// # Lane layout
+//
+// A batch assigns each root a lane — one bit position of a 64-bit machine
+// word (ws.LaneWidth). Per-vertex lane masks then compress 64 traversal
+// states into single words:
+//
+//	seen[v]  — lanes whose root has reached v at any depth so far
+//	mask d,v — lanes whose root reached v at exactly depth d
+//
+// and the per-lane numeric state (σ path counts, the four APGRE dependency
+// accumulators, the per-root BC contribution) lives in LaneWidth-strided
+// arrays carved out of the shared ws arena (slot v·64+l belongs to lane l).
+// The forward σ-BFS processes one depth level of the whole batch at a time:
+// for each vertex u in the level's union frontier, each out-arc u→w is
+// examined once, and the lanes that step from u to w fall out of one word
+// operation, propagate = mask(u) &^ seen[w] — the lanes at depth d on u that
+// have not seen w yet are exactly the lanes for which w is at depth d+1 via
+// parent u. σ accumulates per lane over those bits. The backward pass walks
+// the recorded levels deepest-first; the lanes for which w is a successor of
+// v are again one word op, mask(v) & mask(w at d+1), and the four-dependency
+// recursion with the α/β/γ boundary seeds runs per set lane exactly as in
+// the scalar engine (internal/core).
+//
+// # Why batching stays bit-exact
+//
+// The batched engine reproduces the scalar serial engine bit for bit, which
+// is what lets it slot behind the deterministic scheduler unobserved:
+//
+//   - σ path counts are integers stored in float64. Their sums are exact
+//     (no rounding below 2⁵³), so accumulation order — where the batched
+//     level-parallel order differs from scalar BFS discovery order — cannot
+//     change a single bit. This is the same argument the direction-
+//     optimizing sweep relies on.
+//   - Per lane, the backward dependency sums add successor terms in
+//     adjacency (sg.Out) order, the scalar engine's order, and the α/β
+//     seeds fold in at the same position in the sequence; float64 operations
+//     therefore replay the scalar engine's instruction stream operand for
+//     operand.
+//   - Each lane's finished contribution is staged in a per-lane BC slot and
+//     folded into the sub-graph accumulator per vertex in ascending lane
+//     order after the batch — lane order is root order, so every BC slot
+//     sees the exact addition sequence the scalar engine produces running
+//     those roots one after another.
+//
+// # Memory and reset discipline
+//
+// Level masks are stored sparsely — per level, a list of (vertex, mask)
+// pairs in discovery order — so a batch costs O(visited incidences) extra
+// memory, not O(levels·|V|). One dense lane-mask scratch array (ws.LaneFront)
+// serves as the random-access view: the forward pass accumulates each next
+// level in it and converts to sparse form at the level barrier; the backward
+// pass replays each level's sparse list back into it while descending.
+// All per-vertex state honours the arena's sparse-reset contract: the kernel
+// walks only the vertices the batch touched, and the per-lane δ/BC arrays
+// need no reset at all because every visited (vertex, lane) slot is written
+// before it is read.
+package msbfs
+
+import (
+	"math/bits"
+
+	"repro/internal/decompose"
+	"repro/internal/ws"
+)
+
+// LaneWidth is the maximum batch size: one root per bit of a lane word.
+const LaneWidth = ws.LaneWidth
+
+// level is one recorded BFS depth: the vertices some lane first reached at
+// this depth, in discovery order, with the lane masks parallel to them.
+type level struct {
+	verts []int32
+	masks []uint64
+}
+
+// Kernel runs bit-parallel multi-source APGRE sweeps over one sub-graph at a
+// time. It is single-threaded scratch, one per worker, reusable across
+// batches and sub-graphs of any size; the per-vertex numeric state lives in
+// the ws.Sweep passed to Run, so a pooled arena serves the kernel exactly as
+// it serves the scalar engines.
+type Kernel struct {
+	// Per-lane root metadata, filled at the start of every batch.
+	rootAt  [LaneWidth]int32
+	beta    [LaneWidth]float64
+	gamma   [LaneWidth]float64
+	artMask uint64 // lanes whose root is a boundary articulation point
+
+	levels  []level
+	touched []int32 // vertices reached by any lane this batch, in first-seen order
+}
+
+// grow returns the d-th level, extending the level list as needed. Callers
+// rely on Run's end-of-batch truncation for freshness.
+func (k *Kernel) grow(d int) *level {
+	for len(k.levels) <= d {
+		k.levels = append(k.levels, level{})
+	}
+	return &k.levels[d]
+}
+
+// Run executes one batched multi-source sweep: forward σ-BFS from all roots
+// at once, the backward four-dependency accumulation with the α/β/γ boundary
+// terms per lane, and the in-root-order fold into s.BC. roots must hold at
+// most LaneWidth local vertex ids of sg (duplicates are allowed — lanes are
+// independent). Returns the traversed-arc count under the engine-wide metric,
+// Σ over (root, visited vertex) of the vertex's out-degree.
+//
+// The scratch s is grown with the lane arrays on demand and returned to its
+// clean-slot state before Run returns, so the caller's pooled-sweep
+// discipline is unchanged.
+func (k *Kernel) Run(sg *decompose.Subgraph, roots []int32, directed bool, s *ws.Sweep) int64 {
+	if len(roots) == 0 {
+		return 0
+	}
+	if len(roots) > LaneWidth {
+		panic("msbfs: batch exceeds LaneWidth roots")
+	}
+	s.GrowLanes(sg.NumVerts())
+	sigma := s.LaneSigma
+	seen := s.LaneSeen
+	dense := s.LaneFront
+
+	k.artMask = 0
+	for l, r := range roots {
+		k.rootAt[l] = r
+		k.beta[l] = sg.Beta[r]
+		k.gamma[l] = float64(sg.Gamma[r])
+		if sg.IsArt[r] {
+			k.artMask |= 1 << uint(l)
+		}
+	}
+	k.touched = k.touched[:0]
+
+	// Depth 0: seed every root's lane. The dense scratch deduplicates
+	// repeated root vertices exactly as it deduplicates a level's frontier.
+	lv0 := k.grow(0)
+	for l, r := range roots {
+		if dense[r] == 0 {
+			lv0.verts = append(lv0.verts, r)
+		}
+		dense[r] |= 1 << uint(l)
+		sigma[int(r)*LaneWidth+l] = 1
+	}
+	for _, r := range lv0.verts {
+		m := dense[r]
+		lv0.masks = append(lv0.masks, m)
+		k.touched = append(k.touched, r)
+		seen[r] = m
+		dense[r] = 0
+	}
+
+	// Forward: one shared pass over the CSR per depth level of the batch.
+	last := 0
+	for d := 0; ; d++ {
+		curVerts, curMasks := k.levels[d].verts, k.levels[d].masks
+		nxt := k.grow(d + 1)
+		for i, u := range curVerts {
+			um := curMasks[i]
+			ub := int(u) * LaneWidth
+			for _, w := range sg.Out(u) {
+				prop := um &^ seen[w]
+				if prop == 0 {
+					continue
+				}
+				if dense[w] == 0 {
+					nxt.verts = append(nxt.verts, w)
+				}
+				dense[w] |= prop
+				wb := int(w) * LaneWidth
+				if prop == ^uint64(0) {
+					// All 64 lanes step together: a straight-line block add.
+					sw, su := sigma[wb:wb+LaneWidth], sigma[ub:ub+LaneWidth]
+					for l := range sw {
+						sw[l] += su[l]
+					}
+				} else {
+					for m := prop; m != 0; m &= m - 1 {
+						l := bits.TrailingZeros64(m)
+						sigma[wb+l] += sigma[ub+l]
+					}
+				}
+			}
+		}
+		// Level barrier: freeze the next frontier into sparse form, publish
+		// its lanes to seen, and hand the dense scratch back clean.
+		for _, w := range nxt.verts {
+			m := dense[w]
+			nxt.masks = append(nxt.masks, m)
+			if seen[w] == 0 {
+				k.touched = append(k.touched, w)
+			}
+			seen[w] |= m
+			dense[w] = 0
+		}
+		if len(nxt.verts) == 0 {
+			last = d
+			break
+		}
+	}
+
+	k.backward(sg, directed, s, last)
+
+	// Fold finished per-lane contributions into the sub-graph accumulator in
+	// ascending lane (= root) order per vertex, count traversed arcs, and
+	// sparse-reset σ and seen. The δ and BC lane arrays are assign-only.
+	bcLane := s.LaneBC
+	bc := s.BC
+	var traversed int64
+	for _, v := range k.touched {
+		m := seen[v]
+		vb := int(v) * LaneWidth
+		traversed += int64(len(sg.Out(v))) * int64(bits.OnesCount64(m))
+		if m == ^uint64(0) {
+			x := bc[v]
+			for l := vb; l < vb+LaneWidth; l++ {
+				x += bcLane[l]
+				sigma[l] = 0
+			}
+			bc[v] = x
+		} else {
+			for ; m != 0; m &= m - 1 {
+				l := vb + bits.TrailingZeros64(m)
+				bc[v] += bcLane[l]
+				sigma[l] = 0
+			}
+		}
+		seen[v] = 0
+	}
+	for d := range k.levels {
+		k.levels[d].verts = k.levels[d].verts[:0]
+		k.levels[d].masks = k.levels[d].masks[:0]
+	}
+	return traversed
+}
+
+// backward runs the four-dependency accumulation over the recorded levels,
+// deepest first. On entry the dense scratch is all zero (= the successor
+// masks of the empty level past last); while descending it always holds the
+// lane masks of level d+1 when level d is being processed.
+func (k *Kernel) backward(sg *decompose.Subgraph, directed bool, s *ws.Sweep, last int) {
+	sigma := s.LaneSigma
+	dense := s.LaneFront
+	di2i, di2o, do2o := s.LaneDi2i, s.LaneDi2o, s.LaneDo2o
+	bcLane := s.LaneBC
+	art := k.artMask
+	for d := last; d >= 0; d-- {
+		lvVerts, lvMasks := k.levels[d].verts, k.levels[d].masks
+		for i, v := range lvVerts {
+			vm := lvMasks[i]
+			vb := int(v) * LaneWidth
+			// Zero this vertex's active accumulator slots; like the scalar
+			// engine's locals, they then collect successor terms in sg.Out
+			// order before the seeds fold in.
+			for m := vm; m != 0; m &= m - 1 {
+				l := vb + bits.TrailingZeros64(m)
+				di2i[l] = 0
+				di2o[l] = 0
+			}
+			for m := vm & art; m != 0; m &= m - 1 {
+				do2o[vb+bits.TrailingZeros64(m)] = 0
+			}
+			for _, w := range sg.Out(v) {
+				sm := vm & dense[w]
+				if sm == 0 {
+					continue
+				}
+				wb := int(w) * LaneWidth
+				for ; sm != 0; sm &= sm - 1 {
+					l := bits.TrailingZeros64(sm)
+					r := sigma[vb+l] / sigma[wb+l]
+					di2i[vb+l] += r * (1 + di2i[wb+l])
+					di2o[vb+l] += r * di2o[wb+l]
+					if art&(1<<uint(l)) != 0 {
+						do2o[vb+l] += r * do2o[wb+l]
+					}
+				}
+			}
+			isArtV := sg.IsArt[v]
+			alphaV := sg.Alpha[v]
+			for m := vm; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				sIsArt := art&(1<<uint(l)) != 0
+				if v != k.rootAt[l] {
+					if isArtV {
+						di2o[vb+l] += alphaV // δ_i2o seed (Eq. 4)
+						if sIsArt {
+							do2o[vb+l] += k.beta[l] * alphaV // δ_o2o seed (Eq. 6)
+						}
+					}
+					i2i, i2o := di2i[vb+l], di2o[vb+l]
+					var o2o float64
+					if sIsArt {
+						o2o = do2o[vb+l]
+					}
+					contrib := (1+k.gamma[l])*(i2i+i2o) + o2o
+					if sIsArt {
+						contrib += k.beta[l] * i2i // δ_o2i = β(s)·δ_i2i (Eq. 5)
+					}
+					bcLane[vb+l] = contrib
+				} else if k.gamma[l] > 0 {
+					root := di2i[vb+l] + di2o[vb+l]
+					if sIsArt {
+						root += alphaV // see serialState.runRoot
+					}
+					if !directed {
+						root-- // undirected folded-leaf correction (DESIGN.md §1)
+					}
+					bcLane[vb+l] = k.gamma[l] * root
+				} else {
+					// The scalar engine adds nothing for this root vertex;
+					// write the zero so the fold reads a defined slot.
+					bcLane[vb+l] = 0
+				}
+			}
+		}
+		// Roll the dense successor view down one level: drop level d+1's
+		// masks, publish level d's for the next iteration.
+		if d < last {
+			for _, w := range k.levels[d+1].verts {
+				dense[w] = 0
+			}
+		}
+		for i, v := range lvVerts {
+			dense[v] = lvMasks[i]
+		}
+	}
+	// Level 0's masks are still published; return the scratch clean.
+	for _, v := range k.levels[0].verts {
+		dense[v] = 0
+	}
+}

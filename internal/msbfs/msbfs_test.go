@@ -1,0 +1,209 @@
+package msbfs_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/brandes"
+	"repro/internal/decompose"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/ws"
+)
+
+// testGraphs mirrors the nine-family equivalence suite used across the repo,
+// plus a disconnected graph (two components and isolated vertices), which
+// the kernel must handle: lanes whose root cannot reach a vertex simply never
+// set their bit there.
+func testGraphs() map[string]*graph.Graph {
+	disc := graph.NewFromEdges(30, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0},
+		{From: 2, To: 4}, {From: 4, To: 5},
+		// second component: a small clique with a tail
+		{From: 10, To: 11}, {From: 11, To: 12}, {From: 12, To: 10},
+		{From: 12, To: 13}, {From: 13, To: 14},
+		// vertices 15..29 isolated
+	}, false)
+	return map[string]*graph.Graph{
+		"path":     gen.Path(20),
+		"star":     gen.Star(20),
+		"lollipop": gen.Lollipop(6, 10),
+		"tree":     gen.Tree(50, 1),
+		"caveman":  gen.Caveman(4, 6, false),
+		"grid":     gen.Grid2D(6, 6),
+		"social": gen.SocialLike(gen.SocialParams{
+			N: 400, AvgDeg: 5, Communities: 6, TopShare: 0.5, LeafFrac: 0.3, Seed: 1}),
+		"socialDir": gen.SocialLike(gen.SocialParams{
+			N: 400, AvgDeg: 5, Communities: 6, TopShare: 0.5, LeafFrac: 0.3,
+			Directed: true, Reciprocity: 0.5, Seed: 2}),
+		"er":           gen.ErdosRenyi(300, 900, false, 7),
+		"disconnected": disc,
+	}
+}
+
+// runBatched computes full BC for g by decomposing and feeding every
+// sub-graph's root set to the kernel in batches of the given width — the
+// kernel-level equivalent of core.Compute with the msbfs engine.
+func runBatched(t *testing.T, g *graph.Graph, width int) []float64 {
+	t.Helper()
+	d, err := decompose.Decompose(g, decompose.Options{Threshold: 8})
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	bc := make([]float64, g.NumVertices())
+	var k msbfs.Kernel
+	var sw ws.Sweep
+	directed := g.Directed()
+	for _, sg := range d.Subgraphs {
+		n := sg.NumVerts()
+		sw.GrowLanes(n)
+		for lo := 0; lo < len(sg.Roots); lo += width {
+			hi := lo + width
+			if hi > len(sg.Roots) {
+				hi = len(sg.Roots)
+			}
+			k.Run(sg, sg.Roots[lo:hi], directed, &sw)
+		}
+		for l, v := range sg.Verts {
+			bc[v] += sw.BC[l]
+			sw.BC[l] = 0
+		}
+	}
+	if err := sw.CheckClean(); err != nil {
+		t.Fatalf("sweep dirty after batched runs: %v", err)
+	}
+	return bc
+}
+
+func bcClose(want, got []float64, tol float64) (int, bool) {
+	for i := range want {
+		diff := math.Abs(want[i] - got[i])
+		if scale := math.Abs(want[i]); scale > 1 {
+			diff /= scale
+		}
+		if diff > tol {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// TestKernelMatchesBrandes checks the batched kernel against serial Brandes
+// on every family, at a full batch width, a width that does not divide the
+// root count, and single-lane batches.
+func TestKernelMatchesBrandes(t *testing.T) {
+	for name, g := range testGraphs() {
+		want := brandes.Serial(g)
+		for _, width := range []int{msbfs.LaneWidth, 7, 1} {
+			got := runBatched(t, g, width)
+			if i, ok := bcClose(want, got, 1e-9); !ok {
+				t.Fatalf("%s width=%d: kernel differs from Brandes at vertex %d: want %v got %v",
+					name, width, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestKernelBatchWidthBitInvariant pins the package's central claim: the
+// batch width cannot change a single output bit, because σ sums are exact
+// integer arithmetic and per-lane float sequences replay the scalar order.
+// Width 1 is the scalar engine's one-root-at-a-time schedule; 64 and the
+// non-dividing 7 must match it bit for bit.
+func TestKernelBatchWidthBitInvariant(t *testing.T) {
+	for name, g := range testGraphs() {
+		base := runBatched(t, g, 1)
+		for _, width := range []int{7, msbfs.LaneWidth} {
+			got := runBatched(t, g, width)
+			for v := range base {
+				if math.Float64bits(base[v]) != math.Float64bits(got[v]) {
+					t.Fatalf("%s: width %d differs from width 1 at vertex %d: %v vs %v",
+						name, width, v, base[v], got[v])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelDuplicateRoots verifies that lanes are independent even when a
+// batch repeats a root: running {r, r} must produce exactly twice running
+// {r} (addition of equal floats is exact doubling only in sum order — here
+// both lanes produce identical contributions, folded in lane order, which
+// equals running the root twice sequentially).
+func TestKernelDuplicateRoots(t *testing.T) {
+	g := gen.Lollipop(5, 5)
+	d, err := decompose.Decompose(g, decompose.Options{Threshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k msbfs.Kernel
+	var once, twice ws.Sweep
+	for _, sg := range d.Subgraphs {
+		if len(sg.Roots) == 0 {
+			continue
+		}
+		r := sg.Roots[0]
+		k.Run(sg, []int32{r}, false, &once)
+		k.Run(sg, []int32{r}, false, &once)
+		k.Run(sg, []int32{r, r}, false, &twice)
+		n := sg.NumVerts()
+		for l := 0; l < n; l++ {
+			if math.Float64bits(once.BC[l]) != math.Float64bits(twice.BC[l]) {
+				t.Fatalf("sg %d vertex %d: sequential %v, duplicate-lane batch %v",
+					sg.ID, l, once.BC[l], twice.BC[l])
+			}
+			once.BC[l], twice.BC[l] = 0, 0
+		}
+	}
+}
+
+// TestKernelTraversedMetric pins the traversed-arc accounting to the scalar
+// definition: Σ over (root, visited vertex) of out-degree. On a path graph
+// every root visits every vertex of its sub-graph.
+func TestKernelTraversedMetric(t *testing.T) {
+	g := gen.Complete(8) // one biconnected block, no decomposition splits
+	d, err := decompose.Decompose(g, decompose.Options{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Subgraphs) != 1 {
+		t.Fatalf("complete graph decomposed into %d sub-graphs", len(d.Subgraphs))
+	}
+	sg := d.Subgraphs[0]
+	var k msbfs.Kernel
+	var sw ws.Sweep
+	traversed := k.Run(sg, sg.Roots, false, &sw)
+	// Every root visits all 8 vertices, each of out-degree 7.
+	want := int64(len(sg.Roots)) * 8 * 7
+	if traversed != want {
+		t.Fatalf("traversed = %d, want %d", traversed, want)
+	}
+	for l := range sw.BC[:sg.NumVerts()] {
+		sw.BC[l] = 0
+	}
+	if err := sw.CheckClean(); err != nil {
+		t.Fatalf("sweep dirty: %v", err)
+	}
+}
+
+// TestKernelEmptyAndOversizedBatch covers the contract edges: an empty batch
+// is a no-op, a batch beyond LaneWidth panics.
+func TestKernelEmptyAndOversizedBatch(t *testing.T) {
+	g := gen.Path(4)
+	d, err := decompose.Decompose(g, decompose.Options{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := d.Subgraphs[0]
+	var k msbfs.Kernel
+	var sw ws.Sweep
+	if got := k.Run(sg, nil, false, &sw); got != 0 {
+		t.Fatalf("empty batch traversed %d arcs", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized batch did not panic")
+		}
+	}()
+	k.Run(sg, make([]int32, msbfs.LaneWidth+1), false, &sw)
+}

@@ -51,7 +51,9 @@ func (e *Entry) estimatorFor(snap core.Snapshot) (*approx.Estimator, error) {
 		e.est.Release() // return the stale estimator's pooled sweeps
 		e.est = nil
 	}
-	est, err := approx.NewEstimator(snap.Decomposition, approx.Options{Seed: approxSeed})
+	// The entry's engine routes pivot sweeps too (batching is bit-invisible
+	// in the estimates, so this only changes refinement speed).
+	est, err := approx.NewEstimator(snap.Decomposition, approx.Options{Seed: approxSeed, Engine: e.engine})
 	if err != nil {
 		return nil, err
 	}

@@ -197,14 +197,24 @@ func TestSnapshotCompaction(t *testing.T) {
 			t.Fatalf("mutate %d: %v", i, err)
 		}
 	}
-	// 4 records at SnapshotEvery=2: at least one compaction must have run,
-	// leaving fewer than 2 records in the log.
-	fi, err := os.Stat(filepath.Join(dir, "compact", walFile))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fi.Size() >= 2*walRecordSize {
-		t.Fatalf("wal.log holds %d bytes (>= %d): compaction never ran", fi.Size(), 2*walRecordSize)
+	// 4 records at SnapshotEvery=2: at least one compaction must run,
+	// leaving fewer than 2 records in the log. Mutations are acknowledged
+	// BEFORE the worker compacts (acks must not wait on a snapshot write),
+	// so poll rather than stat once.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fi, err := os.Stat(filepath.Join(dir, "compact", walFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() < 2*walRecordSize {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wal.log still holds %d bytes (>= %d) 10s after the last ack: compaction never ran",
+				fi.Size(), 2*walRecordSize)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLoadEngineBitMatchAndEcho: an entry loaded with the msbfs engine must
+// serve scores bit-identical to a scalar entry of the same graph — the engine
+// is a performance knob, never an accuracy one — and Info must echo the
+// engine so clients can see what they got. The 200-vertex ER graph keeps at
+// least one sub-graph above the kernel's break-even gates, so the batched
+// path actually runs.
+func TestLoadEngineBitMatchAndEcho(t *testing.T) {
+	r := NewRegistry(Config{Workers: 2})
+	defer r.Close()
+
+	scalarSpec, _ := erSpec("sc")
+	msbfsSpec, _ := erSpec("ms")
+	msbfsSpec.Engine = "msbfs"
+
+	es, err := r.Load(scalarSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := r.Load(msbfsSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitState(t, es); info.State != StateReady || info.Engine != "scalar" {
+		t.Fatalf("scalar entry: state %s engine %q (%s)", info.State, info.Engine, info.Error)
+	}
+	if info := waitState(t, em); info.State != StateReady || info.Engine != "msbfs" {
+		t.Fatalf("msbfs entry: state %s engine %q (%s)", info.State, info.Engine, info.Error)
+	}
+
+	want, err := es.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Float64bits(want[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("vertex %d: scalar %v, msbfs %v (bit mismatch)", v, want[v], got[v])
+		}
+	}
+}
+
+// TestMutateEngineBitMatch: mutations absorbed under the msbfs engine publish
+// the same epochs as under scalar — the incremental recompute path routes
+// through the batched kernel without changing a bit.
+func TestMutateEngineBitMatch(t *testing.T) {
+	r := NewRegistry(Config{Workers: 2})
+	defer r.Close()
+
+	load := func(name, engine string) *Entry {
+		e, err := r.Load(LoadSpec{Name: name, N: lifecycleN, Edges: lifecycleEdges,
+			Threshold: lifecycleThreshold, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info := waitState(t, e); info.State != StateReady {
+			t.Fatalf("load %q: state %s (%s)", name, info.State, info.Error)
+		}
+		return e
+	}
+	es := load("sc", "")
+	em := load("ms", "msbfs")
+
+	muts := []struct {
+		add  bool
+		u, v int32
+	}{
+		{true, 1, 3},  // local chord
+		{true, 9, 4},  // structural cross-component insert
+		{false, 0, 7}, // leaf removal
+	}
+	for _, m := range muts {
+		for _, e := range []*Entry{es, em} {
+			if _, err := r.Mutate(e, m.add, m.u, m.v); err != nil {
+				t.Fatalf("mutate %+v on %q: %v", m, e.Name(), err)
+			}
+		}
+	}
+	want, err := es.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.BC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Float64bits(want[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("post-mutation vertex %d: scalar %v, msbfs %v", v, want[v], got[v])
+		}
+	}
+}
+
+// TestLoadEngineValidation: an unknown engine name is rejected at Load time,
+// before any build job is enqueued.
+func TestLoadEngineValidation(t *testing.T) {
+	r := NewRegistry(Config{})
+	defer r.Close()
+	spec := triangleSpec("bad")
+	spec.Engine = "simd"
+	if _, err := r.Load(spec); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if r.Get("bad") != nil {
+		t.Fatal("rejected load left an entry registered")
+	}
+}
+
+// TestRecoverKeepsEngine: the engine choice survives durable recovery via
+// the meta.json sidecar, like the threshold does.
+func TestRecoverKeepsEngine(t *testing.T) {
+	dir := t.TempDir()
+	r1 := durableRegistry(t, dir)
+	e, err := r1.Load(LoadSpec{Name: "eng", N: lifecycleN, Edges: lifecycleEdges,
+		Threshold: lifecycleThreshold, Engine: "msbfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := waitState(t, e); info.State != StateReady {
+		t.Fatalf("load: state %s (%s)", info.State, info.Error)
+	}
+	r1.Close()
+
+	r2 := durableRegistry(t, dir)
+	defer r2.Close()
+	names, err := r2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "eng" {
+		t.Fatalf("recovered %v, want [eng]", names)
+	}
+	e2 := r2.Get("eng")
+	info := waitState(t, e2)
+	if info.State != StateReady {
+		t.Fatalf("recovered state %s (%s)", info.State, info.Error)
+	}
+	if info.Engine != "msbfs" {
+		t.Fatalf("recovered engine %q, want msbfs (meta.json lost it)", info.Engine)
+	}
+}

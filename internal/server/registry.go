@@ -116,6 +116,12 @@ type LoadSpec struct {
 
 	// Threshold overrides the registry's default decomposition threshold.
 	Threshold int `json:"threshold,omitempty"`
+
+	// Engine selects the root-sweep kernel the entry's recomputes run
+	// through ("scalar", "msbfs"; empty means scalar — see core.RootEngine).
+	// The choice is bit-invisible in the published scores, so it is purely a
+	// performance knob; it persists across durable recovery.
+	Engine string `json:"engine,omitempty"`
 }
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
@@ -131,6 +137,7 @@ type Entry struct {
 	err       string
 	inc       *core.Incremental
 	threshold int
+	engine    core.RootEngine
 	loadedAt  time.Time
 	buildTime time.Duration
 
@@ -187,6 +194,9 @@ type EntryInfo struct {
 	Edges    int64  `json:"edges,omitempty"`
 	// Threshold is the decomposition threshold the graph was loaded with.
 	Threshold int `json:"threshold,omitempty"`
+	// Engine is the root-sweep kernel the entry recomputes with
+	// (core.RootEngine.String()).
+	Engine string `json:"engine,omitempty"`
 	// Subgraphs/BoundaryAPs echo the cached decomposition's shape.
 	Subgraphs   int `json:"subgraphs,omitempty"`
 	BoundaryAPs int `json:"boundary_aps,omitempty"`
@@ -362,7 +372,7 @@ func (r *Registry) runBuild(j buildJob) {
 		fail("canceled", fmt.Errorf("server: load aborted by shutdown: %w", err))
 		return
 	}
-	inc, err := core.NewIncremental(g, core.Options{Threshold: j.e.threshold})
+	inc, err := core.NewIncremental(g, core.Options{Threshold: j.e.threshold, RootEngine: j.e.engine})
 	if err != nil {
 		fail("error", err)
 		return
@@ -439,6 +449,7 @@ func (r *Registry) initDurable(dir string, e *Entry, g *graph.Graph) error {
 		Threshold: e.threshold,
 		Directed:  g.Directed(),
 		SavedAt:   time.Now().UTC(),
+		Engine:    e.engine.String(),
 	}
 	if err := writeMeta(dir, meta); err != nil {
 		return &DurabilityError{Name: e.name, Err: err}
@@ -503,7 +514,11 @@ func (r *Registry) Load(spec LoadSpec) (*Entry, error) {
 	if threshold <= 0 {
 		threshold = r.cfg.DefaultThreshold
 	}
-	e := &Entry{name: spec.Name, state: StateLoading, threshold: threshold}
+	engine, err := core.ParseRootEngine(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{name: spec.Name, state: StateLoading, threshold: threshold, engine: engine}
 
 	// The enqueue happens under r.mu so Close (which takes r.mu before
 	// closing the channel) can never close r.jobs mid-send.
@@ -733,6 +748,7 @@ func (e *Entry) Info() EntryInfo {
 		State:     e.state,
 		Error:     e.err,
 		Threshold: e.threshold,
+		Engine:    e.engine.String(),
 	}
 	inc := e.inc
 	if inc != nil {
@@ -1146,7 +1162,11 @@ func (r *Registry) Recover() ([]string, error) {
 			}
 			return names, err
 		}
-		e := &Entry{name: name, state: StateLoading, threshold: st.meta.Threshold}
+		engine, err := core.ParseRootEngine(st.meta.Engine)
+		if err != nil {
+			return names, fmt.Errorf("server: %s: %w", dir, err)
+		}
+		e := &Entry{name: name, state: StateLoading, threshold: st.meta.Threshold, engine: engine}
 		r.mu.Lock()
 		if r.closed {
 			r.mu.Unlock()

@@ -7,7 +7,10 @@
 // A Sweep bundles all per-vertex scratch one root sweep needs — distances,
 // path counts, the four dependency arrays, a local BC accumulator, a visited
 // bitset frontier and the BFS queue/order ring — sized by the largest
-// sub-graph it has seen. A Pool hands Sweeps out to workers (Get) and takes
+// sub-graph it has seen. The lane-widened layer (GrowLanes) adds the
+// LaneWidth-slots-per-vertex σ/δ/BC arrays and per-vertex lane-mask words the
+// bit-parallel multi-source engine (internal/msbfs) batches 64 roots over.
+// A Pool hands Sweeps out to workers (Get) and takes
 // them back (Put), so steady-state computation performs zero per-sweep heap
 // allocation: the arena grows to the high-water mark once and is reused by
 // every engine, request and worker thereafter.
@@ -38,13 +41,19 @@ import (
 	"repro/internal/bitset"
 )
 
+// LaneWidth is the root-batch width of the lane-parallel (MS-BFS) arrays:
+// one machine word of lanes, each lane tracking one root of a batched
+// multi-source sweep.
+const LaneWidth = 64
+
 // Sweep is one checkout of per-vertex sweep scratch. Field slices all have
-// length Cap() (Visited has at least that many bits); callers index them by
-// local vertex id. See the package comment for which fields carry clean-slot
-// invariants.
+// length Cap() (Visited has at least that many bits; the Lane* float arrays
+// have LaneWidth slots per vertex); callers index them by local vertex id.
+// See the package comment for which fields carry clean-slot invariants.
 type Sweep struct {
 	capV     int
 	weighted bool
+	lanes    bool
 	gen      uint64 // checkout epoch, bumped by Pool.Get (diagnostics)
 	Dist     []int32
 	Sigma    []float64
@@ -56,6 +65,22 @@ type Sweep struct {
 	Visited  *bitset.Bitset
 	FDist    []float64 // weighted distances; allocated by GrowWeighted
 	Done     []bool    // Dijkstra settled flags; allocated by GrowWeighted
+
+	// Lane-parallel scratch for the MS-BFS batched engine (allocated by
+	// GrowLanes): LaneSigma/LaneDi2i/LaneDi2o/LaneDo2o/LaneBC hold LaneWidth
+	// slots per vertex (slot v*LaneWidth+l belongs to root lane l), LaneSeen
+	// and LaneFront one lane-mask word per vertex. Invariants: LaneSigma,
+	// LaneSeen and LaneFront are all zero in the pool; the per-lane δ and BC
+	// arrays carry no invariant — like Di2i, the batched backward step
+	// assigns every visited (vertex, lane) slot exactly once per batch and
+	// the fold reads only visited slots.
+	LaneSigma []float64
+	LaneDi2i  []float64
+	LaneDi2o  []float64
+	LaneDo2o  []float64
+	LaneBC    []float64
+	LaneSeen  []uint64
+	LaneFront []uint64
 }
 
 // Cap returns the number of vertices the sweep is sized for.
@@ -87,6 +112,9 @@ func (s *Sweep) Grow(n int) {
 	if s.weighted {
 		s.growWeighted()
 	}
+	if s.lanes {
+		s.growLanes()
+	}
 }
 
 // GrowWeighted is Grow plus the weighted-engine arrays (FDist, Done). Once
@@ -105,6 +133,28 @@ func (s *Sweep) growWeighted() {
 		s.FDist[i] = -1
 	}
 	s.Done = make([]bool, s.capV)
+}
+
+// GrowLanes is Grow plus the lane-parallel MS-BFS arrays (LaneWidth slots per
+// vertex). Once called, later Grow calls keep the lane arrays sized too.
+// Fresh allocations are zero, which is exactly the lane invariants, so — as
+// with Grow — a grown region is indistinguishable from a sparsely reset one.
+func (s *Sweep) GrowLanes(n int) {
+	s.Grow(n)
+	if !s.lanes || len(s.LaneSeen) < s.capV {
+		s.lanes = true
+		s.growLanes()
+	}
+}
+
+func (s *Sweep) growLanes() {
+	s.LaneSigma = make([]float64, s.capV*LaneWidth)
+	s.LaneDi2i = make([]float64, s.capV*LaneWidth)
+	s.LaneDi2o = make([]float64, s.capV*LaneWidth)
+	s.LaneDo2o = make([]float64, s.capV*LaneWidth)
+	s.LaneBC = make([]float64, s.capV*LaneWidth)
+	s.LaneSeen = make([]uint64, s.capV)
+	s.LaneFront = make([]uint64, s.capV)
 }
 
 // CheckClean verifies the clean-slot invariants over the whole capacity;
@@ -127,6 +177,19 @@ func (s *Sweep) CheckClean() error {
 			}
 			if s.Done[v] {
 				return fmt.Errorf("ws: dirty Done[%d]", v)
+			}
+		}
+		if s.lanes {
+			if s.LaneSeen[v] != 0 {
+				return fmt.Errorf("ws: dirty LaneSeen[%d] = %#x", v, s.LaneSeen[v])
+			}
+			if s.LaneFront[v] != 0 {
+				return fmt.Errorf("ws: dirty LaneFront[%d] = %#x", v, s.LaneFront[v])
+			}
+			for l := v * LaneWidth; l < (v+1)*LaneWidth; l++ {
+				if s.LaneSigma[l] != 0 {
+					return fmt.Errorf("ws: dirty LaneSigma[%d] = %g", l, s.LaneSigma[l])
+				}
 			}
 		}
 	}
@@ -153,6 +216,17 @@ func (s *Sweep) Scrub() {
 		}
 		for i := range s.Done {
 			s.Done[i] = false
+		}
+	}
+	if s.lanes {
+		for i := range s.LaneSigma {
+			s.LaneSigma[i] = 0
+		}
+		for i := range s.LaneSeen {
+			s.LaneSeen[i] = 0
+		}
+		for i := range s.LaneFront {
+			s.LaneFront[i] = 0
 		}
 	}
 }

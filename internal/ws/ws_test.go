@@ -64,6 +64,48 @@ func TestGrowWeighted(t *testing.T) {
 	}
 }
 
+func TestGrowLanes(t *testing.T) {
+	var s Sweep
+	s.GrowLanes(8)
+	if len(s.LaneSigma) != 8*LaneWidth || len(s.LaneSeen) != 8 || len(s.LaneFront) != 8 {
+		t.Fatalf("lane arrays not sized: %d/%d/%d", len(s.LaneSigma), len(s.LaneSeen), len(s.LaneFront))
+	}
+	if len(s.LaneDi2i) != 8*LaneWidth || len(s.LaneDi2o) != 8*LaneWidth ||
+		len(s.LaneDo2o) != 8*LaneWidth || len(s.LaneBC) != 8*LaneWidth {
+		t.Fatal("per-lane δ/BC arrays not sized")
+	}
+	if err := s.CheckClean(); err != nil {
+		t.Fatalf("laned sweep dirty: %v", err)
+	}
+	// Plain Grow must keep the lane arrays in step once enabled.
+	s.Grow(64)
+	if len(s.LaneSigma) != 64*LaneWidth || len(s.LaneSeen) != 64 {
+		t.Fatalf("Grow dropped lane arrays: %d/%d", len(s.LaneSigma), len(s.LaneSeen))
+	}
+	if err := s.CheckClean(); err != nil {
+		t.Fatalf("regrown laned sweep dirty: %v", err)
+	}
+	// GrowLanes on a larger existing sweep sizes lanes to the existing
+	// capacity, not the (smaller) request — mirroring GrowWeighted.
+	var u Sweep
+	u.Grow(100)
+	u.GrowLanes(10)
+	if len(u.LaneSigma) != 100*LaneWidth {
+		t.Fatalf("LaneSigma sized %d, want existing capacity %d", len(u.LaneSigma), 100*LaneWidth)
+	}
+	// Dirty lane state must be caught and scrubbed.
+	u.LaneSigma[5] = 1
+	u.LaneSeen[3] = 0xff
+	u.LaneFront[2] = 1
+	if err := u.CheckClean(); err == nil {
+		t.Fatal("expected dirty laned sweep")
+	}
+	u.Scrub()
+	if err := u.CheckClean(); err != nil {
+		t.Fatalf("scrubbed laned sweep dirty: %v", err)
+	}
+}
+
 func TestScrub(t *testing.T) {
 	var s Sweep
 	s.GrowWeighted(16)
