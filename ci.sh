@@ -114,6 +114,32 @@ echo "==> approx smoke: K==n bit-match + tiny error-vs-speedup sweep"
 go test -race -run 'TestExactBudgetBitMatch|TestSeededDeterminism' ./internal/approx
 go run ./cmd/bcbench -approx -datasets email-enron -scale 0.05 -json "$tmp/approx"
 
+echo "==> scale smoke: streamed gen -> stream + mmap loads agree bit-for-bit"
+# Capped stand-in for the at-scale pipeline: generate a ~1e5-edge composite
+# graph straight to binary, load it through the streaming reader and through
+# mmap, and demand bit-identical approximate BC (same seed => same pivots, so
+# any divergence is a loader bug, not sampling noise).
+go run ./cmd/graphgen -type composite -cores 4 -rmatscale 12 -k 6 \
+    -workers 4 -seed 7 -o "$tmp/scale.bin"
+go build -o "$tmp/bc" ./cmd/bc
+"$tmp/bc" -in "$tmp/scale.bin" -approx -pivots 48 -top 5 |
+    sed -n '/top 5 vertices/,$p' >"$tmp/bc_stream.txt"
+"$tmp/bc" -in "$tmp/scale.bin" -mmap -approx -pivots 48 -top 5 |
+    sed -n '/top 5 vertices/,$p' >"$tmp/bc_mmap.txt"
+cmp "$tmp/bc_stream.txt" "$tmp/bc_mmap.txt" || {
+    echo "scale smoke: streamed and mmapped loads computed different BC" >&2
+    exit 1
+}
+
+echo "==> scale smoke: one budgeted at-scale cell (composite-stream) + -check"
+# One family through the full -atscale path: load probes (in-memory vs
+# streaming vs mmap, with the mmap/stream graph bit-compare inside), the
+# sched/engine/approx cells on a root budget, and a -check round-trip of the
+# resulting artifact.
+go run ./cmd/bcbench -atscale -scale 2 -workers 2 -datasets composite-stream \
+    -rootbudget 64 -graphdir "$tmp/atscale-graphs" -json "$tmp/atscale.json"
+go run ./cmd/bcbench -check -tolerance 5 "$tmp/atscale.json" "$tmp/atscale.json"
+
 echo "==> durability smoke: SIGKILL bcd, recover, compare top-K bit-exact"
 go build -race -o "$tmp/bcd" ./cmd/bcd
 go build -race -o "$tmp/bcdload" ./cmd/bcdload

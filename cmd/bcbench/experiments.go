@@ -18,13 +18,15 @@ import (
 )
 
 type config struct {
-	scale     float64
-	workers   int
-	threshold int
-	datasets  map[string]bool
-	algos     map[string]bool
-	out       io.Writer         // defaults to os.Stdout in main; injectable in tests
-	rec       *metrics.Recorder // nil unless -json is set; Recorder no-ops on nil
+	scale      float64
+	workers    int
+	threshold  int
+	datasets   map[string]bool
+	algos      map[string]bool
+	rootBudget int               // -atscale: total BFS-root budget per compute cell
+	graphDir   string            // -atscale: where generated .bin graphs are cached
+	out        io.Writer         // defaults to os.Stdout in main; injectable in tests
+	rec        *metrics.Recorder // nil unless -json is set; Recorder no-ops on nil
 }
 
 func (c config) w() io.Writer {

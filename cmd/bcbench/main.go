@@ -59,6 +59,11 @@ func main() {
 		approxExp  = flag.Bool("approx", false, "run the approximate-BC error-vs-speedup sweep")
 		sched      = flag.Bool("sched", false, "run the static-vs-dynamic scheduler worker sweep")
 		engineExp  = flag.Bool("engine", false, "run the scalar-vs-msbfs sweep-engine comparison")
+		atscale    = flag.Bool("atscale", false, "run the at-scale load/scheduler/engine/approx profile (pair with -scale 100)")
+		rootBudget = flag.Int("rootbudget", 256, "at-scale: total BFS-root budget per compute cell (0 = full exact)")
+		graphDir   = flag.String("graphdir", "", "at-scale: cache generated .bin graphs here (default: fresh temp dir, removed)")
+		loadprobe  = flag.String("loadprobe", "", "internal: load this .bin file, print one-line JSON load metrics, exit")
+		loadmode   = flag.String("loadmode", "stream", "internal: loader for -loadprobe (inmem|stream|mmap)")
 		jsonOut    = flag.String("json", "", "write a machine-readable BENCH_<stamp>.json to this file or directory")
 		check      = flag.Bool("check", false, "compare two BENCH_*.json files (old new) and fail on regressions")
 		tolerance  = flag.Float64("tolerance", 10, "allowed wall-time / traversed-arc growth for -check, in percent")
@@ -67,6 +72,13 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	// The load probe runs before anything else: it is the measurement child
+	// the at-scale profile spawns per load cell, and must do nothing but load
+	// and report (see atscale.go).
+	if *loadprobe != "" {
+		os.Exit(runLoadProbe(*loadprobe, *loadmode))
+	}
 
 	if *check {
 		os.Exit(runCheck(flag.Args(), *tolerance))
@@ -79,11 +91,13 @@ func main() {
 	}
 
 	cfg := config{
-		scale:     *scale,
-		workers:   *workers,
-		threshold: *thresh,
-		datasets:  splitCSV(*datasets),
-		algos:     splitCSV(*algos),
+		scale:      *scale,
+		workers:    *workers,
+		threshold:  *thresh,
+		datasets:   splitCSV(*datasets),
+		algos:      splitCSV(*algos),
+		rootBudget: *rootBudget,
+		graphDir:   *graphDir,
 	}
 	if *jsonOut != "" {
 		cfg.rec = metrics.NewRecorder(*scale, *workers)
@@ -154,6 +168,13 @@ func main() {
 	}
 	if *all || *engineExp {
 		run("engine", engineExperiment)
+		ran = true
+	}
+	// -atscale is deliberately NOT part of -all: it generates multi-million-
+	// edge graphs and belongs to its own -scale 100 invocation (see
+	// EXPERIMENTS.md "At-scale sweeps").
+	if *atscale {
+		run("atscale", atScaleExperiment)
 		ran = true
 	}
 	if !ran {

@@ -6,6 +6,7 @@
 //
 //	bcd -addr :8723
 //	bcd -addr :8723 -preload enron=email-enron:0.05
+//	bcd -addr :8723 -preload big=@/data/big.bin    # stream a graph file from disk
 //
 // Endpoints (see README "Serving" for curl examples):
 //
@@ -47,7 +48,7 @@ func main() {
 		workers   = flag.Int("workers", 2, "concurrent graph build jobs")
 		queue     = flag.Int("queue", 16, "build job queue depth")
 		threshold = flag.Int("threshold", 0, "default decomposition threshold (0 = library default)")
-		preload   = flag.String("preload", "", "comma-separated name=dataset[:scale] graphs to load at startup")
+		preload   = flag.String("preload", "", "comma-separated name=dataset[:scale] or name=@/path/file graphs to load at startup")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 
@@ -121,6 +122,10 @@ func main() {
 }
 
 // preloadGraphs parses "name=dataset[:scale],..." and enqueues the loads.
+// An "@"-prefixed source is a file path instead of a dataset name
+// ("big=@/data/big.bin"); .bin files go through graphio's streaming CSR
+// reader, so preloading a 10^7-edge graph does not spike beyond the CSR
+// it keeps resident.
 func preloadGraphs(reg *server.Registry, spec string) error {
 	if spec == "" {
 		return nil
@@ -128,18 +133,24 @@ func preloadGraphs(reg *server.Registry, spec string) error {
 	for _, part := range strings.Split(spec, ",") {
 		name, src, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
-			return fmt.Errorf("bad -preload entry %q (want name=dataset[:scale])", part)
+			return fmt.Errorf("bad -preload entry %q (want name=dataset[:scale] or name=@/path/file)", part)
 		}
-		dataset, scaleStr, hasScale := strings.Cut(src, ":")
-		scale := 0.25
-		if hasScale {
-			v, err := strconv.ParseFloat(scaleStr, 64)
-			if err != nil {
-				return fmt.Errorf("bad scale in -preload entry %q: %v", part, err)
+		var ls server.LoadSpec
+		if path, isFile := strings.CutPrefix(src, "@"); isFile {
+			ls = server.LoadSpec{Name: name, Path: path}
+		} else {
+			dataset, scaleStr, hasScale := strings.Cut(src, ":")
+			scale := 0.25
+			if hasScale {
+				v, err := strconv.ParseFloat(scaleStr, 64)
+				if err != nil {
+					return fmt.Errorf("bad scale in -preload entry %q: %v", part, err)
+				}
+				scale = v
 			}
-			scale = v
+			ls = server.LoadSpec{Name: name, Dataset: dataset, Scale: scale}
 		}
-		if _, err := reg.Load(server.LoadSpec{Name: name, Dataset: dataset, Scale: scale}); err != nil {
+		if _, err := reg.Load(ls); err != nil {
 			// A recovered durable graph already owns this name; keep it — it
 			// carries the mutation history the fresh dataset would lose.
 			var conflict *server.ConflictError

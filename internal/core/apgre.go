@@ -108,6 +108,19 @@ type Options struct {
 	// vertices. 0 means bfs.DefaultBottomUpFrac; negative disables bottom-up
 	// sweeps. Either setting yields bit-identical BC (see serialState).
 	BottomUpFrac float64
+	// RootBudget, when > 0, caps the total number of BFS roots processed:
+	// each sub-graph keeps a proportional prefix of its root list,
+	// ⌈|roots_i|·budget/total⌉ (so every non-empty sub-graph keeps at least
+	// one root, and ceiling may push the realized total slightly past the
+	// budget — Breakdown.Roots reports the real count). The prefix depends
+	// only on (decomposition, budget), never on workers or engine, so a
+	// budgeted run is bit-deterministic across the whole -sched/-engine
+	// matrix, and budget >= total roots replays the exact computation
+	// bit-for-bit. The scores are the exact contribution of the processed
+	// roots — a Graph500-style throughput measure for at-scale benchmarking,
+	// NOT an unbiased BC estimate; use ApproxCompute's pivot sampling for
+	// estimation with error bounds.
+	RootBudget int
 	// Breakdown, when non-nil, receives phase timings and work counters
 	// (Figure 8's execution-time breakdown).
 	Breakdown *Breakdown
@@ -214,6 +227,25 @@ func ComputeDecomposed(d *decompose.Decomposition, opt Options) ([]float64, erro
 	return computeSplit(d, opt, big, small, p, bc)
 }
 
+// totalRootCount sums the decomposition's root lists — the denominator of
+// RootBudget's proportional prefix.
+func totalRootCount(d *decompose.Decomposition) int64 {
+	var t int64
+	for _, sg := range d.Subgraphs {
+		t += int64(len(sg.Roots))
+	}
+	return t
+}
+
+// rootPrefix returns how many of a sub-graph's nr roots a budgeted run
+// processes (see Options.RootBudget). budget <= 0 means no cap.
+func rootPrefix(nr int, totalRoots int64, budget int) int {
+	if budget <= 0 || totalRoots == 0 || int64(budget) >= totalRoots {
+		return nr
+	}
+	return int((int64(nr)*int64(budget) + totalRoots - 1) / totalRoots)
+}
+
 // computeSplit runs phase A (fine-grained) over big and phase B
 // (coarse-grained) over small, accumulating into bc.
 func computeSplit(d *decompose.Decomposition, opt Options,
@@ -222,6 +254,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 	directed := g.Directed()
 	frac := resolveFrac(opt.BottomUpFrac)
 	prepareHybrid(d, frac)
+	totalRoots := totalRootCount(d)
 	var traversed, roots int64
 
 	// Phase A: large sub-graphs. With several workers this is the paper's
@@ -233,12 +266,13 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 	var fineBig *fineState
 	for _, sg := range big {
 		n := sg.NumVerts()
+		rs := sg.Roots[:rootPrefix(len(sg.Roots), totalRoots, opt.RootBudget)]
 		if p == 1 {
 			if serialBig == nil {
 				serialBig = &serialState{hybridFrac: frac}
 			}
 			serialBig.ensure(n)
-			for _, s := range sg.Roots {
+			for _, s := range rs {
 				serialBig.runRoot(sg, s, directed)
 			}
 			flushLocal(bc, sg, serialBig.ws.BC)
@@ -255,7 +289,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 				fineBig.hybridFrac = frac
 			}
 			fineBig.ensure(n)
-			for _, s := range sg.Roots {
+			for _, s := range rs {
 				fineBig.runRoot(sg, s, directed)
 			}
 			flushLocal(bc, sg, fineBig.ws.BC)
@@ -265,7 +299,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 			traversed += fineBig.traversed
 			fineBig.traversed = 0
 		}
-		roots += int64(len(sg.Roots))
+		roots += int64(len(rs))
 	}
 	if serialBig != nil {
 		serialBig.release()
@@ -287,7 +321,8 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 		}
 		sg := small[i]
 		st.ensure(sg.NumVerts())
-		for _, s := range sg.Roots {
+		rs := sg.Roots[:rootPrefix(len(sg.Roots), totalRoots, opt.RootBudget)]
+		for _, s := range rs {
 			st.runRoot(sg, s, directed)
 		}
 		flushLocalAtomic(bc, sg, st.ws.BC)
@@ -296,7 +331,7 @@ func computeSplit(d *decompose.Decomposition, opt Options,
 		}
 		atomic.AddInt64(&traversed, st.traversed)
 		st.traversed = 0
-		atomic.AddInt64(&roots, int64(len(sg.Roots)))
+		atomic.AddInt64(&roots, int64(len(rs)))
 	})
 	for _, st := range scratches {
 		if st != nil {

@@ -109,16 +109,22 @@ func unitCost(sg *decompose.Subgraph, nr int, laneBatched bool) int64 {
 // cost, by contrast, uses the requested engine's model (laneBatched switches
 // to ⌈roots/LaneWidth⌉·(|V|+|E|)); it only orders the drain queue, which the
 // canonical merge makes bit-neutral.
-func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking, laneBatched bool) []workUnit {
+//
+// budget is Options.RootBudget: each sub-graph's root list is trimmed to its
+// proportional prefix BEFORE chunking, so the unit boundaries of a budgeted
+// run are again a pure function of (decomposition, options) — the
+// determinism argument above carries over unchanged.
+func buildUnits(d *decompose.Decomposition, p, cutoff int, chunking, laneBatched bool, budget int) []workUnit {
+	totalRoots := totalRootCount(d)
 	var total int64
 	costs := make([]int64, len(d.Subgraphs))
 	for i, sg := range d.Subgraphs {
-		costs[i] = unitCost(sg, len(sg.Roots), false)
+		costs[i] = unitCost(sg, rootPrefix(len(sg.Roots), totalRoots, budget), false)
 		total += costs[i]
 	}
 	var units []workUnit
 	for i, sg := range d.Subgraphs {
-		nr := len(sg.Roots)
+		nr := rootPrefix(len(sg.Roots), totalRoots, budget)
 		if nr == 0 {
 			continue
 		}
@@ -248,7 +254,7 @@ func computeDynamic(d *decompose.Decomposition, opt Options, p, cutoff int, bc [
 	}
 	// StrategyCoarseOnly promises serial whole-sub-graph processing, so only
 	// StrategyTwoLevel chunks root ranges.
-	units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel, batched)
+	units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel, batched, opt.RootBudget)
 	// Small-graph break-even guard: below the work cutoff, drain the SAME
 	// unit list with one worker instead of p. The p == 1 drain flushes each
 	// unit's local scores in canonical order — additions identical to the

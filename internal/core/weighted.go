@@ -69,7 +69,7 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 		// Unified cost-ordered unit scheduler with Dijkstra engines: same
 		// queue, chunking and deterministic merge as the unweighted path
 		// (sched.go); Dijkstra replaces the σ-BFS inside runRoot.
-		units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel, false)
+		units := buildUnits(d, p, cutoff, p > 1 && opt.Strategy == StrategyTwoLevel, false, opt.RootBudget)
 		traversed = drainUnits(units, p, directed, func() rootEngine {
 			return &weightedState{}
 		}, bc)
@@ -97,13 +97,15 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 			small = append(small, sg)
 		}
 	}
+	totalRoots := totalRootCount(d)
 	for _, sg := range big {
+		rs := sg.Roots[:rootPrefix(len(sg.Roots), totalRoots, opt.RootBudget)]
 		if opt.Strategy == StrategyFineOnly {
 			// Fine-grained: delta-stepping distances + distance-group
 			// level-synchronous σ/dependency sweeps, one root at a time —
 			// the weighted analogue of the paper's inner level.
 			st := newWeightedFineState(sg, p)
-			for _, s := range sg.Roots {
+			for _, s := range rs {
 				st.runRoot(sg, s, directed)
 			}
 			flushLocal(bc, sg, st.ws.BC)
@@ -113,14 +115,14 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 			// Root-parallel: workers own private Dijkstra states and
 			// partial BC arrays.
 			states := make([]*weightedState, p)
-			par.ForWorker(len(sg.Roots), p, 1, func(w, ri int) {
+			par.ForWorker(len(rs), p, 1, func(w, ri int) {
 				st := states[w]
 				if st == nil {
 					st = &weightedState{}
 					st.ensure(sg.NumVerts())
 					states[w] = st
 				}
-				st.runRoot(sg, sg.Roots[ri], directed)
+				st.runRoot(sg, rs[ri], directed)
 			})
 			n := sg.NumVerts()
 			for _, st := range states {
@@ -135,7 +137,7 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 				st.release()
 			}
 		}
-		roots += int64(len(sg.Roots))
+		roots += int64(len(rs))
 	}
 	states := make([]*weightedState, p)
 	par.ForWorker(len(small), p, 1, func(w, i int) {
@@ -146,7 +148,8 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 		}
 		sg := small[i]
 		st.ensure(sg.NumVerts())
-		for _, s := range sg.Roots {
+		rs := sg.Roots[:rootPrefix(len(sg.Roots), totalRoots, opt.RootBudget)]
+		for _, s := range rs {
 			st.runRoot(sg, s, directed)
 		}
 		flushLocalAtomic(bc, sg, st.ws.BC)
@@ -155,7 +158,7 @@ func ComputeWeighted(g *graph.Graph, opt Options) ([]float64, error) {
 		}
 		atomic.AddInt64(&traversed, st.traversed)
 		st.traversed = 0
-		atomic.AddInt64(&roots, int64(len(sg.Roots)))
+		atomic.AddInt64(&roots, int64(len(rs)))
 	})
 	for _, st := range states {
 		if st != nil {

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// undirected triangle 0-1-2 plus a pendant 3 hanging off 2, in CSR form.
+func validCSR() (int, []int64, []V) {
+	offs := []int64{0, 2, 4, 7, 8}
+	adj := []V{1, 2, 0, 2, 0, 1, 3, 2}
+	return 4, offs, adj
+}
+
+func TestNewFromCSRValid(t *testing.T) {
+	n, offs, adj := validCSR()
+	g, err := NewFromCSR(n, offs, adj, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumArcs() != 8 || g.NumEdges() != 4 {
+		t.Fatalf("shape: %v", g)
+	}
+	if !g.HasArc(3, 2) || !g.HasArc(2, 3) || g.HasArc(0, 3) {
+		t.Fatal("adjacency mismatch")
+	}
+	// Adoption is zero-copy: the returned graph serves rows out of the
+	// caller's slab (this is what lets the mmap reader hand over a read-only
+	// mapping).
+	if &g.Out(0)[0] != &adj[0] {
+		t.Fatal("NewFromCSR copied the adjacency")
+	}
+}
+
+func TestNewFromCSRDirectedAsymmetry(t *testing.T) {
+	// 0->1->2, no mirrors: fine when directed, rejected when undirected.
+	offs := []int64{0, 1, 2, 2}
+	adj := []V{1, 2}
+	if _, err := NewFromCSR(3, offs, adj, true); err != nil {
+		t.Fatalf("directed: %v", err)
+	}
+	if _, err := NewFromCSR(3, offs, adj, false); err == nil ||
+		!strings.Contains(err.Error(), "mirror") {
+		t.Fatalf("undirected missing mirror: got %v", err)
+	}
+}
+
+func TestNewFromCSRRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		offs []int64
+		adj  []V
+		want string
+	}{
+		{"negative n", -1, nil, nil, "negative"},
+		{"offsets length", 2, []int64{0, 1}, []V{1}, "offsets length"},
+		{"nonzero start", 2, []int64{1, 1, 2}, []V{0, 1}, "start at 0"},
+		{"end mismatch", 2, []int64{0, 1, 3}, []V{1, 0}, "offsets end"},
+		{"non-monotone", 3, []int64{0, 2, 1, 2}, []V{1, 2}, "non-monotone"},
+		{"neighbor range", 2, []int64{0, 1, 2}, []V{1, 5}, "out of range"},
+		{"self-loop", 2, []int64{0, 1, 2}, []V{1, 1}, "self-loop"},
+		{"unsorted row", 3, []int64{0, 2, 2, 2}, []V{2, 1}, "strictly increasing"},
+		{"duplicate", 3, []int64{0, 2, 2, 2}, []V{1, 1}, "strictly increasing"},
+	}
+	for _, tc := range cases {
+		_, err := NewFromCSR(tc.n, tc.offs, tc.adj, true)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewFromCSRUnsortedCanonicalizes(t *testing.T) {
+	// Same triangle+pendant as validCSR but with scrambled rows, duplicate
+	// arcs and self-loops mixed in. Canonicalization must reproduce exactly
+	// what NewFromEdges builds for the same edge multiset.
+	offs := []int64{0, 4, 6, 10, 12}
+	adj := []V{2, 1, 1, 0, 2, 0, 3, 1, 0, 2, 2, 2}
+	g := NewFromCSRUnsorted(4, offs, adj, false)
+
+	want := NewFromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}}, false)
+	if g.NumVertices() != want.NumVertices() || g.NumArcs() != want.NumArcs() {
+		t.Fatalf("shape %v != %v", g, want)
+	}
+	for u := 0; u < 4; u++ {
+		got, exp := g.Out(V(u)), want.Out(V(u))
+		if len(got) != len(exp) {
+			t.Fatalf("vertex %d: row %v != %v", u, got, exp)
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("vertex %d: row %v != %v", u, got, exp)
+			}
+		}
+	}
+}
+
+func TestNewFromCSRUnsortedPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("out of range", func() {
+		NewFromCSRUnsorted(2, []int64{0, 1, 1}, []V{7}, true)
+	})
+	mustPanic("bad offsets", func() {
+		NewFromCSRUnsorted(2, []int64{0, 2}, []V{1, 0}, true)
+	})
+}

@@ -268,12 +268,29 @@ func ReadDIMACS(r io.Reader, directed bool) (*graph.Graph, error) {
 	return graph.NewFromEdges(n, edges, directed), nil
 }
 
-const binMagic = "APGR\x01"
+// The binary CSR cache format comes in two versions. v1 ("APGR\x01") packs
+// the header into 25 bytes, which leaves the adjacency array misaligned in
+// the file. v2 ("APGR\x02") pads the magic to 8 bytes so the header is 28
+// bytes and both the degree table (offset 28) and the adjacency array
+// (offset 28+4n) are 4-byte aligned — the property the memory-mapped reader
+// needs to reinterpret the mapping as []int32 without copying. WriteBinary
+// emits v2; every reader accepts both.
+const (
+	binMagic  = "APGR\x01"
+	binMagic2 = "APGR\x02"
+	// binPad follows the v2 magic, and binHdrSize is the full v2 header:
+	// magic(5) + pad(3) + flags(4) + n(8) + arcs(8).
+	binPad     = 3
+	binHdrSize = 28
+)
 
-// WriteBinary writes g in the repository's binary CSR cache format.
+// WriteBinary writes g in the repository's binary CSR cache format (v2).
 func WriteBinary(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binMagic); err != nil {
+	if _, err := bw.WriteString(binMagic2); err != nil {
+		return err
+	}
+	if _, err := bw.Write(make([]byte, binPad)); err != nil {
 		return err
 	}
 	flags := uint32(0)
@@ -299,29 +316,54 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary.
-func ReadBinary(r io.Reader) (*graph.Graph, error) {
-	br := bufio.NewReader(r)
+// readBinHeader consumes a v1 or v2 header and returns the declared shape
+// after the shared plausibility checks. Readers must still validate the
+// degree table against the declared arc count before trusting either number.
+func readBinHeader(br io.Reader) (flags uint32, n, arcs uint64, hdrLen int, err error) {
 	magic := make([]byte, len(binMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graphio: reading magic: %v", err)
+	if _, err = io.ReadFull(br, magic); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("graphio: reading magic: %v", err)
 	}
-	if string(magic) != binMagic {
-		return nil, fmt.Errorf("graphio: bad magic %q", magic)
+	hdrLen = len(binMagic) + 4 + 8 + 8
+	switch string(magic) {
+	case binMagic:
+	case binMagic2:
+		hdrLen = binHdrSize
+		pad := make([]byte, binPad)
+		if _, err = io.ReadFull(br, pad); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("graphio: reading header pad: %v", err)
+		}
+		if pad[0] != 0 || pad[1] != 0 || pad[2] != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("graphio: non-zero header padding %v", pad)
+		}
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("graphio: bad magic %q", magic)
 	}
-	var flags uint32
-	var n, arcs uint64
-	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
-		return nil, err
+	if err = binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return 0, 0, 0, 0, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	if err = binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return 0, 0, 0, 0, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, &arcs); err != nil {
-		return nil, err
+	if err = binary.Read(br, binary.LittleEndian, &arcs); err != nil {
+		return 0, 0, 0, 0, err
 	}
 	if n > 1<<31 || arcs > 1<<40 {
-		return nil, fmt.Errorf("graphio: implausible sizes n=%d arcs=%d", n, arcs)
+		return 0, 0, 0, 0, fmt.Errorf("graphio: implausible sizes n=%d arcs=%d", n, arcs)
+	}
+	return flags, n, arcs, hdrLen, nil
+}
+
+// ReadBinary reads a graph written by WriteBinary (either format version).
+// It is the lenient reader: rows are rebuilt through graph.NewFromEdges, so
+// unsorted or duplicate neighbors in a hand-crafted file are tolerated.
+// Loading pipelines use ReadBinaryCSR, which adopts the CSR directly with
+// bounded working memory and strict row validation.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	flags, n, arcs, _, err := readBinHeader(br)
+	if err != nil {
+		return nil, err
 	}
 	// Stream the degree table in bounded chunks, validating the derived CSR
 	// offsets as they accumulate: a degree that would wrap an int32 offset
@@ -412,7 +454,11 @@ func LoadFile(path, format string, directed bool) (*graph.Graph, error) {
 	case FormatDIMACS:
 		return ReadDIMACS(f, directed)
 	case FormatBinary:
-		return ReadBinary(f)
+		size := int64(-1)
+		if fi, err := f.Stat(); err == nil {
+			size = fi.Size()
+		}
+		return readBinaryCSRSized(f, size)
 	case FormatGraphML:
 		g, _, err := ReadGraphML(f)
 		return g, err

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package graphio
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("graphio: memory mapping not supported on this platform")
+}
+
+func munmapBytes(b []byte) error {
+	return nil
+}

@@ -1,0 +1,88 @@
+package graphio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func writeBin(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMmapGraphMatchesStream(t *testing.T) {
+	wantZeroCopy := mmapSupported && nativeLittleEndian()
+	for name, g := range binFamilies() {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		path := writeBin(t, name+".bin", buf.Bytes())
+
+		mg, err := MmapGraph(path)
+		if err != nil {
+			t.Fatalf("%s: MmapGraph: %v", name, err)
+		}
+		if mg.ZeroCopy != wantZeroCopy {
+			t.Errorf("%s: ZeroCopy = %v, want %v on this platform", name, mg.ZeroCopy, wantZeroCopy)
+		}
+		if !sameCSR(g, mg.Graph) {
+			t.Errorf("%s: mapped graph differs from source", name)
+		}
+		if err := mg.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+		if err := mg.Close(); err != nil { // idempotent
+			t.Fatalf("%s: second Close: %v", name, err)
+		}
+	}
+}
+
+// A v1 file has no alignment padding, so the zero-copy cast is impossible;
+// MmapGraph must fall back to the streaming reader and still return the
+// right graph.
+func TestMmapGraphV1Fallback(t *testing.T) {
+	g := gen.ErdosRenyi(60, 150, false, 9)
+	path := writeBin(t, "v1.bin", binBytesV1(g))
+	mg, err := MmapGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if mg.ZeroCopy {
+		t.Error("v1 file must not be zero-copy mapped")
+	}
+	if !sameCSR(g, mg.Graph) {
+		t.Error("fallback-loaded graph differs from source")
+	}
+}
+
+// The zero-copy path refuses files whose size disagrees with the header —
+// the mmap analogue of the streaming reader's truncation and trailing-data
+// errors (the fallback reader catches the same corruption on platforms
+// without mmap).
+func TestMmapGraphSizeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, gen.Path(10)); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := MmapGraph(writeBin(t, "trunc.bin", valid[:len(valid)-2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	if _, err := MmapGraph(writeBin(t, "over.bin", append(append([]byte{}, valid...), 0))); err == nil {
+		t.Error("oversized file accepted")
+	}
+	if _, err := MmapGraph(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

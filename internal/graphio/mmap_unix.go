@@ -1,0 +1,18 @@
+//go:build linux || darwin
+
+package graphio
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error {
+	return syscall.Munmap(b)
+}

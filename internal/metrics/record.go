@@ -85,6 +85,18 @@ type Record struct {
 	// (core.RootEngine.String(): "scalar", "msbfs"). Empty for experiments
 	// that predate the engine option, keeping their keys stable.
 	Engine string `json:"engine,omitempty"`
+	// LoadNs is how long loading the graph into memory took, for records
+	// measuring the scale pipeline's load paths (Algorithm "load-inmem",
+	// "load-stream", "load-mmap"). Load records carry Wall = 0, the
+	// regression-gate sentinel: load time is environment-bound (page cache,
+	// disk), so Compare tracks it without gating on it.
+	LoadNs time.Duration `json:"load_ns,omitempty"`
+	// PeakRSSBytes is the process peak resident set after the measured load
+	// (Linux VmHWM; runtime MemStats.Sys elsewhere), measured in a fresh
+	// child process per load so generation scratch never inflates it. The
+	// at-scale artifact records it to pin the streamed/mmap ≤ ~2× CSR
+	// acceptance bound.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Key identifies a record for cross-document comparison. The worker count is

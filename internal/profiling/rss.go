@@ -1,0 +1,34 @@
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes reports the process's peak resident set size. On Linux it
+// reads VmHWM from /proc/self/status — the kernel's high-water mark, which
+// includes memory-mapped file pages that were actually touched (exactly what
+// the scale pipeline's load probes need: a zero-copy mmap load only "costs"
+// the pages the validator faulted in). Elsewhere it falls back to
+// runtime.MemStats.Sys, the Go heap's OS footprint — an overestimate that
+// misses mapped files, adequate for the portable build only.
+func PeakRSSBytes() int64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
